@@ -1,0 +1,32 @@
+"""Figure 1 — the example pipeline architecture.
+
+Rebuilds the two-pipe/one-completion-bus architecture of the paper's case
+study, checks its structural invariants and renders the Figure-1 style
+diagram.  The benchmark times architecture construction and validation.
+"""
+
+from repro.archs import example_architecture
+
+
+def test_fig1_build_and_validate(benchmark):
+    architecture = benchmark(example_architecture)
+    assert architecture.stage_count() == 6
+    assert [pipe.num_stages for pipe in architecture.pipes] == [4, 2]
+    assert architecture.bus("c").priority == ("short", "long")
+    assert architecture.lockstep_partners("long") == ["short"]
+    assert architecture.scoreboard.num_registers == 8
+
+    print()
+    print("=== Figure 1: example pipeline architecture ===")
+    print(architecture.ascii_diagram())
+    print()
+    print(architecture.describe())
+
+
+def test_fig1_signal_inventory(benchmark):
+    architecture = example_architecture()
+    inputs = benchmark(architecture.input_signals)
+    assert len(inputs) == len(set(inputs))
+    print()
+    print(f"interlock primary inputs: {len(inputs)}")
+    print(f"moe flags:               {len(architecture.moe_signals())}")

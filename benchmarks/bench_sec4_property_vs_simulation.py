@@ -1,0 +1,103 @@
+"""Section 4 — property checking is exhaustive, simulation is not.
+
+The paper: "Even the best simulation is by no means exhaustive, hence the
+fact that the assertions are not triggered during simulation does not imply
+that the design satisfies the specification.  A more thorough approach is to
+use a property checking tool instead of simulation."
+
+The experiment plants a functional bug that only matters in a rarely
+exercised corner (the interlock ignores the WAIT condition), drives a
+workload that never executes WAIT, and shows that the armed assertions stay
+silent during simulation while the property checker refutes the functional
+property immediately.
+"""
+
+import pytest
+
+from repro.assertions import format_table, testbench_assertions
+from repro.checking import PropertyChecker, random_simulation_campaign
+from repro.faults import FaultInjector
+from repro.workloads import WorkloadProfile
+
+
+@pytest.fixture(scope="module")
+def wait_blind_fault(paper_spec):
+    """The long issue stage ignores op_is_WAIT (its first stall disjunct is index 1)."""
+    injector = FaultInjector(paper_spec, seed=0)
+    condition = paper_spec.condition_for("long.1.moe")
+    disjuncts = list(condition.operands)
+    wait_index = next(
+        index for index, term in enumerate(disjuncts) if "op_is_WAIT" in term.variables()
+    )
+    return injector.missing_term_fault("long.1.moe", term_index=wait_index)
+
+
+def test_sec4_simulation_misses_the_corner(benchmark, paper_arch, paper_spec, wait_blind_fault):
+    # A workload with no WAIT instructions never exercises the dropped term.
+    profile = WorkloadProfile(length=60, wait_rate=0.0)
+    result = random_simulation_campaign(
+        paper_arch,
+        wait_blind_fault.interlock,
+        testbench_assertions(paper_spec),
+        num_programs=3,
+        profile=profile,
+        seed=0,
+    )
+    # Timed kernel: one exhaustive functional check of the faulty interlock.
+    checker_for_timing = PropertyChecker(paper_spec, architecture=paper_arch)
+    benchmark(checker_for_timing.check_functional, wait_blind_fault.interlock)
+    print()
+    print("=== Section 4: simulation vs property checking ===")
+    rows = [
+        {
+            "route": "simulation (3 random programs, no WAITs)",
+            "violations": result.functional_violations + result.performance_violations,
+            "verdict": "missed" if not result.any_violation else "detected",
+        }
+    ]
+    assert not result.any_violation, "the corner-case bug should slip past this testbench"
+
+    checker = PropertyChecker(paper_spec, architecture=paper_arch)
+    report = checker.check_functional(wait_blind_fault.interlock)
+    rows.append(
+        {
+            "route": "property checking (exhaustive, BDD)",
+            "violations": len(report.failures()),
+            "verdict": "detected" if not report.all_hold() else "missed",
+        }
+    )
+    print(format_table(rows))
+    assert not report.all_hold(), "property checking must expose the dropped WAIT term"
+    assert "long.1.moe" in report.failing_stages()
+
+
+def test_sec4_simulation_with_waits_eventually_detects(benchmark, paper_arch, paper_spec,
+                                                       wait_blind_fault):
+    profile = WorkloadProfile(length=60, wait_rate=0.3)
+    assertions = testbench_assertions(paper_spec)
+    result = random_simulation_campaign(
+        paper_arch,
+        wait_blind_fault.interlock,
+        assertions,
+        num_programs=3,
+        profile=profile,
+        seed=0,
+    )
+    print()
+    print(
+        "with WAIT-heavy stimulus the same assertions do fire: "
+        f"{result.functional_violations} functional violations"
+    )
+    assert result.functional_violations > 0
+
+    # Timed kernel: one WAIT-heavy program simulated with the assertions armed.
+    timed = benchmark(
+        random_simulation_campaign,
+        paper_arch,
+        wait_blind_fault.interlock,
+        assertions,
+        num_programs=1,
+        profile=WorkloadProfile(length=30, wait_rate=0.3),
+        seed=1,
+    )
+    assert timed.functional_violations >= 0

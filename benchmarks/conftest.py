@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure or result of the paper (see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-measured
+record).  Heavy artefacts are built once per session; the ``benchmark``
+fixture then times the operation under study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archs import example_architecture
+from repro.spec import build_functional_spec, symbolic_most_liberal
+
+
+@pytest.fixture(scope="session")
+def paper_arch():
+    """The paper's example architecture with its full 8-register scoreboard."""
+    return example_architecture()
+
+
+@pytest.fixture(scope="session")
+def paper_spec(paper_arch):
+    """Functional specification (Figure 2) of the example architecture."""
+    return build_functional_spec(paper_arch)
+
+
+@pytest.fixture(scope="session")
+def paper_derivation(paper_spec):
+    """Fixed-point derivation of the maximum-performance moe assignment."""
+    return symbolic_most_liberal(paper_spec)

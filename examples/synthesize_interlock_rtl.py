@@ -1,0 +1,77 @@
+"""Synthesise maximum-performance interlock RTL from the functional spec.
+
+Section 5 of the paper sets out the ambition to "generate the HDL code that
+implements the pipeline flow control logic from the functional
+specification".  This example does exactly that for the Figure 1
+architecture:
+
+1. derive the most liberal moe assignment,
+2. synthesise a gate-level netlist for it and emit structural Verilog,
+3. emit the equivalent behavioural (assign-per-flag) Verilog a designer
+   would review,
+4. emit the SVA checker module and ``bind`` directive that embed the
+   combined specification into a simulation testbench,
+5. prove, exhaustively, that the synthesised netlist is equivalent to the
+   derived specification and satisfies both the functional and the
+   performance halves.
+
+Run with ``python examples/synthesize_interlock_rtl.py``.
+"""
+
+from repro.archs import example_architecture
+from repro.assertions import sva_bind_directive, sva_module, testbench_assertions
+from repro.checking import PropertyChecker
+from repro.spec import build_functional_spec, symbolic_most_liberal
+from repro.synth import behavioural_verilog, synthesis_to_verilog, synthesize_interlock
+
+
+def main() -> None:
+    architecture = example_architecture(num_registers=4)
+    functional = build_functional_spec(architecture)
+    derivation = symbolic_most_liberal(functional)
+
+    # Structural synthesis: lower each derived moe equation to a shared
+    # AND/OR/NOT netlist.
+    synthesis = synthesize_interlock(functional, module_name="dac2002_interlock")
+    print(f"Synthesised netlist: {synthesis.gate_count()} gates, "
+          f"{len(synthesis.module.outputs())} moe outputs")
+    print()
+
+    print("=== Structural Verilog (excerpt) ===")
+    structural = synthesis_to_verilog(synthesis)
+    print("\n".join(structural.splitlines()[:25]))
+    print("  ...")
+    print()
+
+    print("=== Behavioural Verilog (one assign per moe flag) ===")
+    print(behavioural_verilog(functional, derivation, module_name="dac2002_interlock_rtl"))
+    print()
+
+    print("=== SVA checker module (excerpt) ===")
+    assertions = testbench_assertions(functional)
+    checker_text = sva_module(assertions, module_name="dac2002_spec_checker")
+    print("\n".join(checker_text.splitlines()[:30]))
+    print("  ...")
+    print()
+    print("=== bind directive ===")
+    print(sva_bind_directive("dac2002_pipeline", "dac2002_spec_checker",
+                             assertions=assertions))
+    print()
+
+    # Close the loop: the gate-level netlist must implement exactly the
+    # combined (functional AND performance) specification.
+    checker = PropertyChecker(functional, architecture, backend="bdd")
+    netlist_interlock = synthesis.interlock()
+    equivalence = checker.check_equivalence_with_derived(netlist_interlock)
+    combined = checker.check_combined(netlist_interlock)
+    print("=== Property check of the synthesised netlist ===")
+    print(equivalence.describe())
+    print(combined.describe())
+    if not (equivalence.all_hold() and combined.all_hold()):
+        raise SystemExit("synthesised netlist does not match the derived specification")
+    print("The synthesised interlock provably stalls exactly when the functional "
+          "specification requires — maximum performance by construction.")
+
+
+if __name__ == "__main__":
+    main()

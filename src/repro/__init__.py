@@ -1,0 +1,53 @@
+"""repro — reproduction of "Achieving Maximum Performance: A Method for the
+Verification of Interlocked Pipeline Control Logic" (Eder & Barrett, DAC 2002).
+
+The library derives maximum-performance specifications of pipeline interlock
+logic from functional stall specifications, generates testbench assertions
+and HDL checkers from them, property-checks interlock implementations
+against them exhaustively, and synthesises maximum-performance interlock RTL
+— together with the cycle-accurate pipeline simulator, workload generators
+and fault-injection campaigns used to evaluate the method.
+
+Quickstart::
+
+    from repro.archs import example_architecture
+    from repro.spec import build_functional_spec, derive_performance_spec
+
+    arch = example_architecture()
+    functional = build_functional_spec(arch)            # Figure 2
+    performance = derive_performance_spec(functional)   # Figure 3
+    print(performance.describe())
+"""
+
+from . import (
+    analysis,
+    archs,
+    assertions,
+    bdd,
+    checking,
+    expr,
+    faults,
+    pipeline,
+    sat,
+    spec,
+    synth,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "archs",
+    "assertions",
+    "bdd",
+    "checking",
+    "expr",
+    "faults",
+    "pipeline",
+    "sat",
+    "spec",
+    "synth",
+    "workloads",
+    "__version__",
+]

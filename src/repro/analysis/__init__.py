@@ -1,0 +1,33 @@
+"""Trace analysis: stall classification, specification coverage and throughput statistics."""
+
+from .coverage import (
+    CoverageReport,
+    DisjunctCoverage,
+    StageCoverage,
+    coverage_of,
+    merge_coverage,
+)
+from .stalls import StageStallStats, StallBreakdown, classify_stalls
+from .stats import (
+    Comparison,
+    ThroughputStats,
+    compare_traces,
+    stats_table,
+    utilisation_by_stage,
+)
+
+__all__ = [
+    "CoverageReport",
+    "DisjunctCoverage",
+    "StageCoverage",
+    "coverage_of",
+    "merge_coverage",
+    "StageStallStats",
+    "StallBreakdown",
+    "classify_stalls",
+    "Comparison",
+    "ThroughputStats",
+    "compare_traces",
+    "stats_table",
+    "utilisation_by_stage",
+]

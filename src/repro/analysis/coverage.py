@@ -1,0 +1,256 @@
+"""Specification coverage of simulation runs.
+
+The paper is explicit that "even the best simulation is by no means
+exhaustive, hence the fact that the assertions are not triggered during
+simulation does not imply that the design satisfies the specification".
+This module quantifies that gap for a concrete set of runs: for every
+pipeline stage it measures which of the stall-condition disjuncts were ever
+exercised, whether the stage was ever observed stalled and ever observed
+moving, and how much of the (reachable) assertion antecedent space the
+workload visited.
+
+The numbers drive two things:
+
+* the property-checking-versus-simulation benchmark, which shows injected
+  bugs hiding exactly behind uncovered disjuncts, and
+* workload tuning — a profile that leaves a disjunct uncovered cannot find
+  bugs in the logic guarding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..expr.ast import Expr, Or
+from ..expr.evaluate import eval_expr
+from ..expr.printer import to_text
+from ..pipeline.trace import SimulationTrace
+from ..spec.functional import FunctionalSpec
+
+__all__ = [
+    "DisjunctCoverage",
+    "StageCoverage",
+    "CoverageReport",
+    "coverage_of",
+    "merge_coverage",
+]
+
+
+@dataclass
+class DisjunctCoverage:
+    """Exercise counts for one disjunct of one stage's stall condition."""
+
+    stage: str
+    index: int
+    condition: Expr
+    hit_cycles: int = 0
+    sole_justification_cycles: int = 0
+
+    @property
+    def covered(self) -> bool:
+        """Was the disjunct ever true while the stage was observed?"""
+        return self.hit_cycles > 0
+
+    def describe(self) -> str:
+        """Single-line rendering."""
+        status = "covered" if self.covered else "NOT COVERED"
+        return (
+            f"{self.stage} disjunct {self.index} [{status}] "
+            f"hits={self.hit_cycles} sole={self.sole_justification_cycles}: "
+            f"{to_text(self.condition)}"
+        )
+
+
+@dataclass
+class StageCoverage:
+    """Coverage of one pipeline stage's stall clause."""
+
+    moe: str
+    disjuncts: List[DisjunctCoverage] = field(default_factory=list)
+    cycles_observed: int = 0
+    cycles_stalled: int = 0
+    cycles_moving: int = 0
+    cycles_condition_true: int = 0
+
+    @property
+    def disjunct_coverage(self) -> float:
+        """Fraction of stall-condition disjuncts exercised at least once."""
+        if not self.disjuncts:
+            return 1.0
+        return sum(1 for disjunct in self.disjuncts if disjunct.covered) / len(self.disjuncts)
+
+    @property
+    def stall_observed(self) -> bool:
+        """Was the stage ever observed stalled?"""
+        return self.cycles_stalled > 0
+
+    @property
+    def move_observed(self) -> bool:
+        """Was the stage ever observed moving-or-empty?"""
+        return self.cycles_moving > 0
+
+    @property
+    def uncovered_disjuncts(self) -> List[DisjunctCoverage]:
+        """Disjuncts never exercised by the runs."""
+        return [disjunct for disjunct in self.disjuncts if not disjunct.covered]
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for report tables."""
+        return {
+            "moe flag": self.moe,
+            "cycles": self.cycles_observed,
+            "stalled": self.cycles_stalled,
+            "moving": self.cycles_moving,
+            "condition true": self.cycles_condition_true,
+            "disjuncts": len(self.disjuncts),
+            "disjuncts covered": sum(1 for d in self.disjuncts if d.covered),
+            "disjunct coverage": f"{100.0 * self.disjunct_coverage:.1f}%",
+        }
+
+
+@dataclass
+class CoverageReport:
+    """Specification coverage accumulated over one or more traces."""
+
+    spec_name: str
+    stages: Dict[str, StageCoverage] = field(default_factory=dict)
+    traces_merged: int = 0
+
+    @property
+    def overall_disjunct_coverage(self) -> float:
+        """Fraction of all stall-condition disjuncts exercised."""
+        disjuncts = [d for stage in self.stages.values() for d in stage.disjuncts]
+        if not disjuncts:
+            return 1.0
+        return sum(1 for disjunct in disjuncts if disjunct.covered) / len(disjuncts)
+
+    @property
+    def fully_covered(self) -> bool:
+        """True when every disjunct of every stage was exercised."""
+        return all(not stage.uncovered_disjuncts for stage in self.stages.values())
+
+    def uncovered(self) -> List[DisjunctCoverage]:
+        """Every disjunct no run ever exercised."""
+        return [
+            disjunct
+            for stage in self.stages.values()
+            for disjunct in stage.uncovered_disjuncts
+        ]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-stage rows for report tables."""
+        return [stage.as_row() for stage in self.stages.values()]
+
+    def describe(self) -> str:
+        """Multi-line summary including the coverage holes."""
+        lines = [
+            f"Specification coverage for {self.spec_name} over {self.traces_merged} trace(s):",
+            f"  overall disjunct coverage: {100.0 * self.overall_disjunct_coverage:.1f}%",
+        ]
+        for stage in self.stages.values():
+            lines.append(
+                f"  {stage.moe}: {100.0 * stage.disjunct_coverage:.1f}% "
+                f"({sum(1 for d in stage.disjuncts if d.covered)}/{len(stage.disjuncts)} disjuncts), "
+                f"stalled {stage.cycles_stalled}/{stage.cycles_observed} cycles"
+            )
+        holes = self.uncovered()
+        if holes:
+            lines.append("  uncovered disjuncts (bugs behind these cannot be seen by these runs):")
+            for disjunct in holes:
+                lines.append(f"    - {disjunct.stage}[{disjunct.index}]: {to_text(disjunct.condition)}")
+        else:
+            lines.append("  every stall-condition disjunct was exercised at least once")
+        return "\n".join(lines)
+
+
+def _disjuncts_of(condition: Expr) -> List[Expr]:
+    if isinstance(condition, Or):
+        return list(condition.operands)
+    return [condition]
+
+
+def _new_report(spec: FunctionalSpec) -> CoverageReport:
+    report = CoverageReport(spec_name=spec.name)
+    for clause in spec.clauses:
+        stage = StageCoverage(moe=clause.moe)
+        for index, disjunct in enumerate(_disjuncts_of(clause.condition)):
+            stage.disjuncts.append(
+                DisjunctCoverage(stage=clause.moe, index=index, condition=disjunct)
+            )
+        report.stages[clause.moe] = stage
+    return report
+
+
+def coverage_of(
+    spec: FunctionalSpec,
+    traces: Iterable[SimulationTrace],
+    report: Optional[CoverageReport] = None,
+) -> CoverageReport:
+    """Accumulate specification coverage of the given traces.
+
+    Args:
+        spec: the functional specification whose clauses define the coverage
+            model.
+        traces: simulation traces to score (signals are read from each cycle
+            record exactly as the assertion monitor samples them).
+        report: an existing report to accumulate into, for incremental
+            campaigns; a fresh one is created when omitted.
+    """
+    report = report or _new_report(spec)
+    for trace in traces:
+        report.traces_merged += 1
+        for record in trace.cycles:
+            signals = record.signals()
+            for clause in spec.clauses:
+                stage = report.stages[clause.moe]
+                stage.cycles_observed += 1
+                moe_value = signals.get(clause.moe, True)
+                if moe_value:
+                    stage.cycles_moving += 1
+                else:
+                    stage.cycles_stalled += 1
+                hits = []
+                for disjunct in stage.disjuncts:
+                    value = eval_expr(disjunct.condition, signals)
+                    if value:
+                        disjunct.hit_cycles += 1
+                        hits.append(disjunct)
+                if hits:
+                    stage.cycles_condition_true += 1
+                    if len(hits) == 1:
+                        hits[0].sole_justification_cycles += 1
+    return report
+
+
+def merge_coverage(reports: Sequence[CoverageReport]) -> CoverageReport:
+    """Merge several coverage reports over the same specification."""
+    if not reports:
+        raise ValueError("cannot merge an empty list of coverage reports")
+    names = {report.spec_name for report in reports}
+    if len(names) != 1:
+        raise ValueError(f"cannot merge coverage of different specifications: {sorted(names)}")
+    merged = CoverageReport(spec_name=reports[0].spec_name)
+    for report in reports:
+        merged.traces_merged += report.traces_merged
+        for moe, stage in report.stages.items():
+            target = merged.stages.get(moe)
+            if target is None:
+                target = StageCoverage(moe=moe)
+                for disjunct in stage.disjuncts:
+                    target.disjuncts.append(
+                        DisjunctCoverage(
+                            stage=disjunct.stage,
+                            index=disjunct.index,
+                            condition=disjunct.condition,
+                        )
+                    )
+                merged.stages[moe] = target
+            target.cycles_observed += stage.cycles_observed
+            target.cycles_stalled += stage.cycles_stalled
+            target.cycles_moving += stage.cycles_moving
+            target.cycles_condition_true += stage.cycles_condition_true
+            for mine, theirs in zip(target.disjuncts, stage.disjuncts):
+                mine.hit_cycles += theirs.hit_cycles
+                mine.sole_justification_cycles += theirs.sole_justification_cycles
+    return merged

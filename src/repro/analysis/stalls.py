@@ -1,0 +1,132 @@
+"""Stall classification: necessary versus unnecessary.
+
+The paper's central definition: "a performance bug is a pipeline stall for
+which there is no functional justification".  Given a simulation trace and
+the functional specification, this module classifies every observed stall
+cycle of every stage as *necessary* (some functional stall condition held)
+or *unnecessary* (none held — the interlock could have let the stage move).
+
+The classifier evaluates the specification's stall conditions on the same
+per-cycle signal samples the assertion monitor uses, so an unnecessary
+stall here corresponds one-to-one with a performance-assertion violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..expr.evaluate import eval_expr
+from ..pipeline.trace import SimulationTrace
+from ..spec.functional import FunctionalSpec
+
+
+@dataclass
+class StageStallStats:
+    """Stall accounting for one pipeline stage."""
+
+    moe: str
+    total_cycles: int = 0
+    stall_cycles: int = 0
+    necessary_stalls: int = 0
+    unnecessary_stalls: int = 0
+    unnecessary_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def stall_rate(self) -> float:
+        """Fraction of cycles the stage reported a stall."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.stall_cycles / self.total_cycles
+
+    @property
+    def unnecessary_rate(self) -> float:
+        """Fraction of stall cycles with no functional justification."""
+        if self.stall_cycles == 0:
+            return 0.0
+        return self.unnecessary_stalls / self.stall_cycles
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for report tables."""
+        return {
+            "stage": self.moe.rsplit(".", 1)[0],
+            "stalls": self.stall_cycles,
+            "necessary": self.necessary_stalls,
+            "unnecessary": self.unnecessary_stalls,
+            "stall rate": f"{self.stall_rate:.2%}",
+            "unnecessary rate": f"{self.unnecessary_rate:.2%}",
+        }
+
+
+@dataclass
+class StallBreakdown:
+    """Whole-pipeline stall classification for one trace."""
+
+    trace_name: str
+    per_stage: Dict[str, StageStallStats] = field(default_factory=dict)
+
+    def total_stalls(self) -> int:
+        """Sum of stall cycles over all stages."""
+        return sum(stats.stall_cycles for stats in self.per_stage.values())
+
+    def total_unnecessary(self) -> int:
+        """Sum of unnecessary stall cycles over all stages."""
+        return sum(stats.unnecessary_stalls for stats in self.per_stage.values())
+
+    def total_necessary(self) -> int:
+        """Sum of necessary stall cycles over all stages."""
+        return sum(stats.necessary_stalls for stats in self.per_stage.values())
+
+    def has_performance_bug(self) -> bool:
+        """True when at least one unnecessary stall was observed."""
+        return self.total_unnecessary() > 0
+
+    def worst_stage(self) -> Optional[str]:
+        """The stage with the most unnecessary stalls, or None."""
+        worst = None
+        worst_count = 0
+        for moe, stats in self.per_stage.items():
+            if stats.unnecessary_stalls > worst_count:
+                worst = moe
+                worst_count = stats.unnecessary_stalls
+        return worst
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-stage rows for report tables."""
+        return [stats.as_row() for stats in self.per_stage.values()]
+
+    def describe(self) -> str:
+        """Multi-line summary."""
+        lines = [
+            f"Stall breakdown for {self.trace_name}:",
+            f"  total stall cycles:      {self.total_stalls()}",
+            f"  necessary stalls:        {self.total_necessary()}",
+            f"  unnecessary stalls:      {self.total_unnecessary()}",
+        ]
+        worst = self.worst_stage()
+        if worst is not None:
+            lines.append(f"  worst stage:             {worst}")
+        return "\n".join(lines)
+
+
+def classify_stalls(trace: SimulationTrace, spec: FunctionalSpec) -> StallBreakdown:
+    """Classify every stall cycle in a trace against the functional spec."""
+    breakdown = StallBreakdown(
+        trace_name=f"{trace.architecture_name}/{trace.interlock_name}"
+    )
+    for clause in spec.clauses:
+        breakdown.per_stage[clause.moe] = StageStallStats(moe=clause.moe)
+    for record in trace.cycles:
+        signals = record.signals()
+        for clause in spec.clauses:
+            stats = breakdown.per_stage[clause.moe]
+            stats.total_cycles += 1
+            if record.moe.get(clause.moe, True):
+                continue
+            stats.stall_cycles += 1
+            if eval_expr(clause.condition, signals):
+                stats.necessary_stalls += 1
+            else:
+                stats.unnecessary_stalls += 1
+                stats.unnecessary_cycles.append(record.cycle)
+    return breakdown

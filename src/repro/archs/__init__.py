@@ -1,0 +1,25 @@
+"""Bundled example architectures: the paper's example, a FirePath-like model, a RISC pipe."""
+
+from .example_dac2002 import (
+    example_architecture,
+    paper_combined_formula,
+    paper_functional_formula,
+    paper_performance_formula,
+    paper_stall_conditions,
+)
+from .firepath_like import firepath_like_architecture, scaled_architecture
+from .library import available_architectures, load_architecture
+from .risc5 import risc5_architecture
+
+__all__ = [
+    "example_architecture",
+    "paper_combined_formula",
+    "paper_functional_formula",
+    "paper_performance_formula",
+    "paper_stall_conditions",
+    "firepath_like_architecture",
+    "scaled_architecture",
+    "available_architectures",
+    "load_architecture",
+    "risc5_architecture",
+]

@@ -1,0 +1,126 @@
+"""The paper's example architecture (Figure 1) and its hand-written spec.
+
+Two pipes share a combined fetch/decode/issue stage operating in lock step:
+
+* ``long`` — issue, two execute stages, writeback (4 stages), completes on
+  bus ``c``;
+* ``short`` — issue, one combined execute/writeback stage (2 stages), also
+  completes on bus ``c`` with higher priority.
+
+Eight architectural registers are tracked on a scoreboard; the single
+completion bus bypasses the scoreboard check in the cycle it writes back.
+The long pipe's issue stage additionally honours the instruction-specific
+``op_is_WAIT`` flag.
+
+Besides the :class:`~repro.pipeline.structure.Architecture` object, this
+module provides the *literal* Figure 2 and Figure 3 formulas transcribed
+from the paper, so tests and benchmarks can verify that the automatically
+built / derived specifications are logically equivalent to the published
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..expr.ast import Expr, Iff, Implies, Not, Var
+from ..expr.builders import big_and, big_or
+from ..pipeline import signals as sig
+from ..pipeline.structure import (
+    Architecture,
+    CompletionBusSpec,
+    PipeSpec,
+    ScoreboardSpec,
+    StallInput,
+)
+
+NUM_REGISTERS = 8
+WAIT_SIGNAL = "op_is_WAIT"
+BUS_NAME = "c"
+
+
+def example_architecture(num_registers: int = NUM_REGISTERS) -> Architecture:
+    """The Figure 1 architecture: two pipes, one completion bus, a scoreboard."""
+    long_pipe = PipeSpec(name="long", num_stages=4, completion_bus=BUS_NAME, has_wait=True)
+    short_pipe = PipeSpec(name="short", num_stages=2, completion_bus=BUS_NAME)
+    bus = CompletionBusSpec(name=BUS_NAME, priority=("short", "long"))
+    scoreboard = ScoreboardSpec(num_registers=num_registers, bypass_buses=(BUS_NAME,))
+    return Architecture(
+        name="dac2002-example",
+        pipes=[long_pipe, short_pipe],
+        buses=[bus],
+        scoreboard=scoreboard,
+        lockstep_groups=[("long", "short")],
+        extra_stall_inputs=[
+            StallInput(
+                signal=WAIT_SIGNAL,
+                applies_to=("long",),
+                description="instruction-specific wait state visible at the long issue stage",
+            )
+        ],
+    )
+
+
+def _scoreboard_hazard(pipe: str, num_registers: int) -> Expr:
+    """The expanded ∃r ∃a register-outstanding term for a pipe's issue stage."""
+    disjuncts: List[Expr] = []
+    for which in ("src", "dst"):
+        for address in range(num_registers):
+            disjuncts.append(
+                Var(sig.stage_regaddr_indicator(pipe, 1, which, address))
+                & Var(sig.scoreboard_name(address))
+                & ~Var(sig.bus_target_indicator(BUS_NAME, address))
+            )
+    return big_or(disjuncts)
+
+
+def paper_stall_conditions(num_registers: int = NUM_REGISTERS) -> Dict[str, Expr]:
+    """The per-stage stall conditions exactly as printed in Figure 2."""
+    long_moe = {i: Var(sig.moe_name("long", i)) for i in range(1, 5)}
+    short_moe = {i: Var(sig.moe_name("short", i)) for i in range(1, 3)}
+    conditions: Dict[str, Expr] = {}
+
+    conditions[long_moe[4].name] = Var(sig.req_name("long")) & ~Var(sig.gnt_name("long"))
+    conditions[long_moe[3].name] = Var(sig.rtm_name("long", 3)) & ~long_moe[4]
+    conditions[long_moe[2].name] = Var(sig.rtm_name("long", 2)) & ~long_moe[3]
+    conditions[long_moe[1].name] = big_or(
+        [
+            Var(sig.rtm_name("long", 1)) & ~long_moe[2],
+            Var(WAIT_SIGNAL),
+            ~short_moe[1],
+            _scoreboard_hazard("long", num_registers),
+        ]
+    )
+    conditions[short_moe[2].name] = Var(sig.req_name("short")) & ~Var(sig.gnt_name("short"))
+    conditions[short_moe[1].name] = big_or(
+        [
+            Var(sig.rtm_name("short", 1)) & ~short_moe[2],
+            ~long_moe[1],
+            _scoreboard_hazard("short", num_registers),
+        ]
+    )
+    return conditions
+
+
+def paper_functional_formula(num_registers: int = NUM_REGISTERS) -> Expr:
+    """``SPEC_func`` exactly as printed in Figure 2 (conjunction of implications)."""
+    conditions = paper_stall_conditions(num_registers)
+    return big_and(
+        Implies(condition, Not(Var(moe))) for moe, condition in conditions.items()
+    )
+
+
+def paper_performance_formula(num_registers: int = NUM_REGISTERS) -> Expr:
+    """``SPEC_perf`` exactly as printed in Figure 3 (implications flipped)."""
+    conditions = paper_stall_conditions(num_registers)
+    return big_and(
+        Implies(Not(Var(moe)), condition) for moe, condition in conditions.items()
+    )
+
+
+def paper_combined_formula(num_registers: int = NUM_REGISTERS) -> Expr:
+    """The combined specification of Section 2.2.3 (``condition ↔ ¬moe``)."""
+    conditions = paper_stall_conditions(num_registers)
+    return big_and(
+        Iff(condition, Not(Var(moe))) for moe, condition in conditions.items()
+    )

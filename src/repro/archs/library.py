@@ -1,0 +1,32 @@
+"""Registry of the bundled example architectures."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..pipeline.structure import Architecture
+from .example_dac2002 import example_architecture
+from .firepath_like import firepath_like_architecture
+from .risc5 import risc5_architecture
+
+_REGISTRY: Dict[str, Callable[[], Architecture]] = {
+    "dac2002-example": example_architecture,
+    "firepath-like": firepath_like_architecture,
+    "risc5": risc5_architecture,
+}
+
+
+def available_architectures() -> List[str]:
+    """Names of the bundled architectures."""
+    return sorted(_REGISTRY)
+
+
+def load_architecture(name: str) -> Architecture:
+    """Instantiate a bundled architecture by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown architecture {name!r}; available: {available_architectures()}"
+        ) from exc
+    return factory()

@@ -1,0 +1,33 @@
+"""A classic scoreboarded five-stage RISC pipeline.
+
+The paper claims the method "can be applied to any pipelined microprocessor
+design that uses interlock logic to prevent hazards".  This single-pipe
+five-stage in-order machine (IF/ID as the issue stage, EX, MEM, WB as the
+completion stage) is the simplest such design and serves as a third, very
+different validation target: no lock-step coupling, no WAIT, a single
+requester on its writeback port.
+"""
+
+from __future__ import annotations
+
+from ..pipeline.structure import (
+    Architecture,
+    CompletionBusSpec,
+    PipeSpec,
+    ScoreboardSpec,
+)
+
+
+def risc5_architecture(num_registers: int = 8) -> Architecture:
+    """A single five-stage pipe completing onto a dedicated writeback port."""
+    pipe = PipeSpec(name="core", num_stages=5, completion_bus="wb")
+    bus = CompletionBusSpec(name="wb", priority=("core",))
+    scoreboard = ScoreboardSpec(num_registers=num_registers, bypass_buses=("wb",))
+    return Architecture(
+        name="risc5",
+        pipes=[pipe],
+        buses=[bus],
+        scoreboard=scoreboard,
+        lockstep_groups=[],
+        extra_stall_inputs=[],
+    )

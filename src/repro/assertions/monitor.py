@@ -1,0 +1,138 @@
+"""Runtime assertion monitors for simulation traces.
+
+The monitor plays the role of the paper's testbench assertions: every cycle
+it samples the control signals (interlock inputs plus the moe flags the
+implementation drove) and evaluates each armed assertion.  Violations are
+collected with full context so that a report can tell a designer *which*
+stage stalled unnecessarily (performance bug) or moved when it should have
+stalled (functional bug), and in which cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..expr.evaluate import UnboundVariableError
+from ..pipeline.trace import CycleRecord, SimulationTrace
+from .generate import Assertion, AssertionKind
+
+
+@dataclass(frozen=True)
+class AssertionViolation:
+    """One assertion failure observed in one cycle."""
+
+    cycle: int
+    assertion: Assertion
+    signals: Dict[str, bool]
+
+    def describe(self) -> str:
+        """Single-line rendering for reports."""
+        return (
+            f"cycle {self.cycle}: {self.assertion.kind.value} assertion "
+            f"{self.assertion.name} failed ({self.assertion.moe})"
+        )
+
+
+@dataclass
+class MonitorReport:
+    """Aggregate result of monitoring one trace."""
+
+    trace_name: str
+    cycles_checked: int = 0
+    assertions_checked: int = 0
+    violations: List[AssertionViolation] = field(default_factory=list)
+
+    def violation_count(self, kind: Optional[AssertionKind] = None) -> int:
+        """Number of violations, optionally restricted to one assertion kind."""
+        if kind is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.assertion.kind is kind)
+
+    def violated_assertions(self, kind: Optional[AssertionKind] = None) -> List[str]:
+        """Names of the distinct assertions that fired."""
+        names = []
+        for violation in self.violations:
+            if kind is not None and violation.assertion.kind is not kind:
+                continue
+            if violation.assertion.name not in names:
+                names.append(violation.assertion.name)
+        return names
+
+    def first_violation(self, kind: Optional[AssertionKind] = None) -> Optional[AssertionViolation]:
+        """The earliest violation (of a kind), or None."""
+        candidates = [
+            v for v in self.violations if kind is None or v.assertion.kind is kind
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda v: v.cycle)
+
+    def clean(self) -> bool:
+        """True when no assertion fired."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """Multi-line summary."""
+        lines = [
+            f"Assertion monitor report for {self.trace_name}:",
+            f"  cycles checked:      {self.cycles_checked}",
+            f"  assertions armed:    {self.assertions_checked}",
+            f"  violations:          {len(self.violations)}",
+            f"    functional:        {self.violation_count(AssertionKind.FUNCTIONAL)}",
+            f"    performance:       {self.violation_count(AssertionKind.PERFORMANCE)}",
+            f"    combined:          {self.violation_count(AssertionKind.COMBINED)}",
+        ]
+        if self.violations:
+            lines.append("  first violations:")
+            for violation in self.violations[:5]:
+                lines.append(f"    {violation.describe()}")
+        return "\n".join(lines)
+
+
+class AssertionMonitor:
+    """Evaluates a set of assertions cycle by cycle."""
+
+    def __init__(self, assertions: Iterable[Assertion]):
+        self.assertions = list(assertions)
+        if not self.assertions:
+            raise ValueError("an assertion monitor needs at least one assertion")
+
+    def check_cycle(self, cycle: int, signals: Mapping[str, bool]) -> List[AssertionViolation]:
+        """Evaluate every armed assertion on one cycle's signal sample."""
+        violations: List[AssertionViolation] = []
+        for assertion in self.assertions:
+            try:
+                holds = assertion.holds(signals)
+            except UnboundVariableError as exc:
+                raise KeyError(
+                    f"assertion {assertion.name} references signal {exc.args[0]!r} "
+                    "which the trace does not sample"
+                ) from exc
+            if not holds:
+                violations.append(
+                    AssertionViolation(
+                        cycle=cycle, assertion=assertion, signals=dict(signals)
+                    )
+                )
+        return violations
+
+    def check_record(self, record: CycleRecord) -> List[AssertionViolation]:
+        """Evaluate the assertions on one simulator cycle record."""
+        return self.check_cycle(record.cycle, record.signals())
+
+    def check_trace(self, trace: SimulationTrace) -> MonitorReport:
+        """Evaluate the assertions on every cycle of a simulation trace."""
+        report = MonitorReport(
+            trace_name=f"{trace.architecture_name}/{trace.interlock_name}",
+            assertions_checked=len(self.assertions),
+        )
+        for record in trace.cycles:
+            report.cycles_checked += 1
+            report.violations.extend(self.check_record(record))
+        return report
+
+
+def monitor_trace(trace: SimulationTrace, assertions: Iterable[Assertion]) -> MonitorReport:
+    """One-call convenience wrapper: monitor a finished trace."""
+    return AssertionMonitor(assertions).check_trace(trace)

@@ -1,0 +1,22 @@
+"""Reduced ordered BDD package used by the specification and checking layers."""
+
+from .expr_to_bdd import ExprBddContext, compile_expr
+from .manager import FALSE_NODE, TRUE_NODE, BddManager
+from .ordering import (
+    interleaved_order,
+    occurrence_order,
+    order_from_exprs,
+    stage_major_order,
+)
+
+__all__ = [
+    "BddManager",
+    "FALSE_NODE",
+    "TRUE_NODE",
+    "ExprBddContext",
+    "compile_expr",
+    "interleaved_order",
+    "occurrence_order",
+    "order_from_exprs",
+    "stage_major_order",
+]

@@ -1,0 +1,398 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+The manager keeps a unique table of nodes so that structurally equal
+functions share one node, which makes equivalence checking a pointer
+comparison — exactly what the property checker in :mod:`repro.checking`
+relies on to compare a pipeline interlock implementation with the derived
+maximum-performance specification.
+
+Nodes are integers indexing into the manager's node arrays.  The two
+terminals are ``0`` (FALSE) and ``1`` (TRUE).  Complement edges are not
+used; negation goes through ``apply``/``ite`` with memoisation, which is
+simple and fast enough for interlock-sized control cones (tens of
+variables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+FALSE_NODE = 0
+TRUE_NODE = 1
+
+
+class BddManager:
+    """Owns the unique table, the variable order and all BDD operations."""
+
+    def __init__(self, variable_order: Optional[Sequence[str]] = None):
+        # Node storage: parallel lists indexed by node id.
+        # Terminals occupy ids 0 and 1 with a sentinel level.
+        self._level: List[int] = [2**31, 2**31]
+        self._low: List[int] = [FALSE_NODE, TRUE_NODE]
+        self._high: List[int] = [FALSE_NODE, TRUE_NODE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._var_levels: Dict[str, int] = {}
+        self._level_vars: List[str] = []
+        if variable_order is not None:
+            for name in variable_order:
+                self.declare(name)
+
+    # -- variable management --------------------------------------------------
+
+    def declare(self, name: str) -> int:
+        """Declare a variable (idempotent) and return its level."""
+        if name in self._var_levels:
+            return self._var_levels[name]
+        level = len(self._level_vars)
+        self._var_levels[name] = level
+        self._level_vars.append(name)
+        return level
+
+    def variable_order(self) -> List[str]:
+        """The current variable order, outermost (top) first."""
+        return list(self._level_vars)
+
+    def level_of(self, name: str) -> int:
+        """The level of a declared variable."""
+        return self._var_levels[name]
+
+    def var_at_level(self, level: int) -> str:
+        """The variable name at a given level."""
+        return self._level_vars[level]
+
+    def num_nodes(self) -> int:
+        """Total number of allocated nodes including terminals."""
+        return len(self._level)
+
+    # -- node construction -----------------------------------------------------
+
+    def _make_node(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._level)
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """BDD for a single variable."""
+        level = self.declare(name)
+        return self._make_node(level, FALSE_NODE, TRUE_NODE)
+
+    def nvar(self, name: str) -> int:
+        """BDD for the negation of a single variable."""
+        level = self.declare(name)
+        return self._make_node(level, TRUE_NODE, FALSE_NODE)
+
+    def true(self) -> int:
+        """The TRUE terminal."""
+        return TRUE_NODE
+
+    def false(self) -> int:
+        """The FALSE terminal."""
+        return FALSE_NODE
+
+    # -- core operations --------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the function ``f ? g : h``; all boolean ops reduce to it."""
+        # Terminal cases.
+        if f == TRUE_NODE:
+            return g
+        if f == FALSE_NODE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE_NODE and h == FALSE_NODE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f_low, f_high = self._cofactors(f, level)
+        g_low, g_high = self._cofactors(g, level)
+        h_low, h_high = self._cofactors(h, level)
+        low = self.ite(f_low, g_low, h_low)
+        high = self.ite(f_high, g_high, h_high)
+        result = self._make_node(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def not_(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, FALSE_NODE, TRUE_NODE)
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, FALSE_NODE)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, TRUE_NODE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.not_(g), g)
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        return self.ite(f, g, TRUE_NODE)
+
+    def iff(self, f: int, g: int) -> int:
+        """Equivalence ``f <-> g``."""
+        return self.ite(f, g, self.not_(g))
+
+    def and_all(self, nodes: Iterable[int]) -> int:
+        """Conjunction of many functions."""
+        out = TRUE_NODE
+        for node in nodes:
+            out = self.and_(out, node)
+            if out == FALSE_NODE:
+                return FALSE_NODE
+        return out
+
+    def or_all(self, nodes: Iterable[int]) -> int:
+        """Disjunction of many functions."""
+        out = FALSE_NODE
+        for node in nodes:
+            out = self.or_(out, node)
+            if out == TRUE_NODE:
+                return TRUE_NODE
+        return out
+
+    # -- restriction, composition, quantification -------------------------------
+
+    def restrict(self, f: int, name: str, value: bool) -> int:
+        """Cofactor of ``f`` with variable ``name`` fixed to ``value``."""
+        level = self.declare(name)
+        cache: Dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if node in (FALSE_NODE, TRUE_NODE) or self._level[node] > level:
+                return node
+            if node in cache:
+                return cache[node]
+            if self._level[node] == level:
+                result = self._high[node] if value else self._low[node]
+            else:
+                low = rec(self._low[node])
+                high = rec(self._high[node])
+                result = self._make_node(self._level[node], low, high)
+            cache[node] = result
+            return result
+
+        return rec(f)
+
+    def compose(self, f: int, name: str, g: int) -> int:
+        """Substitute function ``g`` for variable ``name`` in ``f``."""
+        level = self.declare(name)
+        cache: Dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if node in (FALSE_NODE, TRUE_NODE) or self._level[node] > level:
+                return node
+            if node in cache:
+                return cache[node]
+            low = rec(self._low[node])
+            high = rec(self._high[node])
+            if self._level[node] == level:
+                result = self.ite(g, high, low)
+            else:
+                result = self._make_node(self._level[node], low, high)
+            cache[node] = result
+            return result
+
+        return rec(f)
+
+    def compose_many(self, f: int, mapping: Dict[str, int]) -> int:
+        """Simultaneous substitution of several variables by functions.
+
+        Implemented by recursion on levels using ``ite`` so the substitution
+        really is simultaneous (inner compositions do not see each other's
+        replacements).
+        """
+        if not mapping:
+            return f
+        levels = {self.declare(name): g for name, g in mapping.items()}
+        cache: Dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if node in (FALSE_NODE, TRUE_NODE):
+                return node
+            if node in cache:
+                return cache[node]
+            level = self._level[node]
+            low = rec(self._low[node])
+            high = rec(self._high[node])
+            if level in levels:
+                result = self.ite(levels[level], high, low)
+            else:
+                top = self._make_node(level, low, high)
+                result = top
+            cache[node] = result
+            return result
+
+        return rec(f)
+
+    def exists(self, f: int, names: Iterable[str]) -> int:
+        """Existential quantification over the given variables."""
+        out = f
+        for name in names:
+            low = self.restrict(out, name, False)
+            high = self.restrict(out, name, True)
+            out = self.or_(low, high)
+        return out
+
+    def forall(self, f: int, names: Iterable[str]) -> int:
+        """Universal quantification over the given variables."""
+        out = f
+        for name in names:
+            low = self.restrict(out, name, False)
+            high = self.restrict(out, name, True)
+            out = self.and_(low, high)
+        return out
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_true(self, f: int) -> bool:
+        """Is ``f`` the constant TRUE function?"""
+        return f == TRUE_NODE
+
+    def is_false(self, f: int) -> bool:
+        """Is ``f`` the constant FALSE function?"""
+        return f == FALSE_NODE
+
+    def equivalent(self, f: int, g: int) -> bool:
+        """Are ``f`` and ``g`` the same function?  Constant time."""
+        return f == g
+
+    def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
+        """Evaluate ``f`` under a total assignment of its support variables."""
+        node = f
+        while node not in (FALSE_NODE, TRUE_NODE):
+            name = self._level_vars[self._level[node]]
+            try:
+                value = assignment[name]
+            except KeyError as exc:
+                raise KeyError(f"assignment is missing variable {name!r}") from exc
+            node = self._high[node] if value else self._low[node]
+        return node == TRUE_NODE
+
+    def support(self, f: int) -> frozenset:
+        """The set of variables the function actually depends on."""
+        seen = set()
+        names = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (FALSE_NODE, TRUE_NODE) or node in seen:
+                continue
+            seen.add(node)
+            names.add(self._level_vars[self._level[node]])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return frozenset(names)
+
+    def sat_count(self, f: int, over: Optional[Sequence[str]] = None) -> int:
+        """Number of satisfying assignments over ``over`` (default: support)."""
+        names = list(over) if over is not None else sorted(self.support(f))
+        for name in names:
+            self.declare(name)
+        levels = sorted(self._var_levels[name] for name in names)
+        missing = self.support(f) - set(names)
+        if missing:
+            raise ValueError(f"counting variables {sorted(missing)} are not in 'over'")
+        index_of_level = {level: idx for idx, level in enumerate(levels)}
+        total_levels = len(levels)
+        cache: Dict[int, int] = {}
+
+        def count_below(node: int, from_index: int) -> int:
+            # Number of solutions of the sub-function over variables at
+            # positions >= from_index.
+            if node == FALSE_NODE:
+                return 0
+            if node == TRUE_NODE:
+                return 1 << (total_levels - from_index)
+            key = node
+            node_index = index_of_level[self._level[node]]
+            gap = node_index - from_index
+            if key in cache:
+                return cache[key] << gap
+            low = count_below(self._low[node], node_index + 1)
+            high = count_below(self._high[node], node_index + 1)
+            cache[key] = low + high
+            return (low + high) << gap
+
+        return count_below(f, 0)
+
+    def pick_one(self, f: int) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment over the support of ``f``, or None."""
+        if f == FALSE_NODE:
+            return None
+        assignment: Dict[str, bool] = {}
+        node = f
+        while node not in (FALSE_NODE, TRUE_NODE):
+            name = self._level_vars[self._level[node]]
+            if self._high[node] != FALSE_NODE:
+                assignment[name] = True
+                node = self._high[node]
+            else:
+                assignment[name] = False
+                node = self._low[node]
+        for name in self.support(f):
+            assignment.setdefault(name, False)
+        return assignment
+
+    def all_sat(self, f: int, over: Optional[Sequence[str]] = None) -> Iterator[Dict[str, bool]]:
+        """Enumerate all satisfying assignments over ``over`` (default: support)."""
+        names = sorted(over) if over is not None else sorted(self.support(f))
+        missing = self.support(f) - set(names)
+        if missing:
+            raise ValueError(f"enumeration variables {sorted(missing)} are not in 'over'")
+
+        def rec(node: int, index: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
+            if node == FALSE_NODE:
+                return
+            if index == len(names):
+                if node == TRUE_NODE:
+                    yield dict(partial)
+                return
+            name = names[index]
+            for value in (False, True):
+                if node in (FALSE_NODE, TRUE_NODE):
+                    child = node
+                elif self._level_vars[self._level[node]] == name:
+                    child = self._high[node] if value else self._low[node]
+                else:
+                    child = node
+                partial[name] = value
+                yield from rec(child, index + 1, partial)
+            del partial[name]
+
+        yield from rec(f, 0, {})
+
+    def dag_size(self, f: int) -> int:
+        """Number of distinct nodes reachable from ``f`` (excluding terminals)."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (FALSE_NODE, TRUE_NODE) or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)

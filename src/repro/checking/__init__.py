@@ -1,0 +1,53 @@
+"""Formal property checking (combinational and bounded) and simulation campaigns."""
+
+from .bmc import (
+    BmcResult,
+    BmcViolation,
+    BoundedModelChecker,
+    CombinationalModel,
+    RegisteredGrantModel,
+    StuckResetModel,
+    timed_name,
+)
+from .environment import (
+    bus_target_assumptions,
+    environment_assumptions,
+    environment_formula,
+    grant_assumptions,
+    issue_register_assumptions,
+    request_assumptions,
+)
+from .exhaustive import (
+    CampaignResult,
+    exhaustive_program_campaign,
+    random_simulation_campaign,
+)
+from .property_check import (
+    CheckReport,
+    PropertyChecker,
+    PropertyResult,
+    check_implementation,
+)
+
+__all__ = [
+    "BmcResult",
+    "BmcViolation",
+    "BoundedModelChecker",
+    "CombinationalModel",
+    "RegisteredGrantModel",
+    "StuckResetModel",
+    "timed_name",
+    "bus_target_assumptions",
+    "environment_assumptions",
+    "environment_formula",
+    "grant_assumptions",
+    "issue_register_assumptions",
+    "request_assumptions",
+    "CampaignResult",
+    "exhaustive_program_campaign",
+    "random_simulation_campaign",
+    "CheckReport",
+    "PropertyChecker",
+    "PropertyResult",
+    "check_implementation",
+]

@@ -1,0 +1,355 @@
+"""Command-line front end: the Section 5 tool.
+
+The paper closes with: "We are now working on a tool which, given a
+functional specification that has the properties mentioned in Section 3.1,
+generates the corresponding performance specification and also
+Verilog/VHDL assertions."  This module is that tool (plus the further-work
+items: property checking, simulation with the generated assertions, and
+interlock RTL synthesis), exposed as ``python -m repro``.
+
+Sub-commands
+------------
+
+========================  =====================================================
+``list-archs``            list the bundled example architectures
+``show-arch``             describe an architecture and draw its pipeline diagram
+``spec``                  print the functional / performance / combined spec,
+                          or export it in the text interchange format
+``derive``                print the closed-form most liberal moe assignment
+``check-properties``      verify the Section 3.1 preconditions
+``assertions``            emit testbench assertions as SVA or PSL
+``synth``                 synthesise interlock RTL (Verilog or VHDL)
+``check``                 exhaustively property-check an interlock variant
+``simulate``              run the cycle-accurate simulator with the generated
+                          assertions armed, report stalls / coverage, dump VCD
+========================  =====================================================
+
+Every sub-command accepts either ``--arch <name>`` (a bundled architecture)
+or ``--spec-file <path>`` (a functional specification in the
+:mod:`repro.spec.textio` format); simulation requires an architecture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .analysis import classify_stalls, coverage_of
+from .archs import available_architectures, load_architecture
+from .assertions import (
+    monitor_trace,
+    psl_vunit,
+    sva_module,
+    testbench_assertions,
+)
+from .checking import PropertyChecker
+from .pipeline import ClosedFormInterlock, simulate, write_vcd_file
+from .spec import (
+    build_functional_spec,
+    check_all_properties,
+    conservative_variant,
+    derive_combined_spec,
+    derive_performance_spec,
+    dumps_spec,
+    load_spec_file,
+    symbolic_most_liberal,
+)
+from .spec.functional import FunctionalSpec
+from .synth import (
+    behavioural_verilog,
+    behavioural_vhdl,
+    optimize_derivation,
+    synthesis_to_verilog,
+    synthesis_to_vhdl,
+    synthesize_interlock,
+)
+from .workloads import (
+    BALANCED,
+    CONTENTION_HEAVY,
+    HAZARD_HEAVY,
+    WAIT_HEAVY,
+    WorkloadGenerator,
+    WorkloadProfile,
+)
+
+__all__ = ["main", "build_parser"]
+
+_PROFILES = {
+    "balanced": BALANCED,
+    "hazard-heavy": HAZARD_HEAVY,
+    "contention-heavy": CONTENTION_HEAVY,
+    "wait-heavy": WAIT_HEAVY,
+}
+
+
+class CliError(RuntimeError):
+    """Raised for user-facing command-line errors."""
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser, require_arch: bool = False) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--arch",
+        choices=available_architectures(),
+        help="use a bundled example architecture",
+    )
+    if not require_arch:
+        group.add_argument(
+            "--spec-file",
+            help="load a functional specification from a text file instead",
+        )
+
+
+def _resolve(args: argparse.Namespace):
+    """Return (architecture-or-None, functional spec) for the selected source."""
+    if getattr(args, "arch", None):
+        architecture = load_architecture(args.arch)
+        return architecture, build_functional_spec(architecture)
+    spec = load_spec_file(args.spec_file)
+    return None, spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maximum-performance verification of interlocked pipeline control logic "
+                    "(Eder & Barrett, DAC 2002).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-archs", help="list the bundled example architectures")
+
+    show = subparsers.add_parser("show-arch", help="describe a bundled architecture")
+    show.add_argument("--arch", choices=available_architectures(), required=True)
+
+    spec = subparsers.add_parser("spec", help="print or export the specification")
+    _add_source_arguments(spec)
+    spec.add_argument(
+        "--kind",
+        choices=["functional", "performance", "combined"],
+        default="functional",
+        help="which specification to print (default: functional)",
+    )
+    spec.add_argument(
+        "--format",
+        choices=["text", "unicode", "specfile"],
+        default="text",
+        help="output format; 'specfile' writes the text interchange format "
+             "(functional specification only)",
+    )
+
+    derive = subparsers.add_parser("derive", help="print the most liberal moe closed forms")
+    _add_source_arguments(derive)
+
+    props = subparsers.add_parser(
+        "check-properties", help="verify the Section 3.1 preconditions of the method"
+    )
+    _add_source_arguments(props)
+
+    assertions = subparsers.add_parser("assertions", help="emit testbench assertions")
+    _add_source_arguments(assertions)
+    assertions.add_argument(
+        "--language", choices=["sva", "psl"], default="sva", help="assertion language"
+    )
+    assertions.add_argument(
+        "--module-name", default="pipeline_spec_checker", help="generated checker module name"
+    )
+
+    synth = subparsers.add_parser("synth", help="synthesise interlock RTL")
+    _add_source_arguments(synth)
+    synth.add_argument("--language", choices=["verilog", "vhdl"], default="verilog")
+    synth.add_argument(
+        "--style",
+        choices=["netlist", "behavioural"],
+        default="behavioural",
+        help="gate-level netlist or one continuous assignment per moe flag",
+    )
+    synth.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run two-level minimisation on the derived equations before emitting",
+    )
+
+    check = subparsers.add_parser("check", help="property-check an interlock variant")
+    _add_source_arguments(check)
+    check.add_argument(
+        "--implementation",
+        choices=["derived", "conservative"],
+        default="derived",
+        help="which interlock to check: the derived maximum-performance one or the "
+             "conservative (stall-on-any-outstanding-register) variant",
+    )
+    check.add_argument("--backend", choices=["bdd", "sat"], default="bdd")
+
+    sim = subparsers.add_parser(
+        "simulate", help="simulate with the generated assertions armed"
+    )
+    sim.add_argument("--arch", choices=available_architectures(), required=True)
+    sim.add_argument("--profile", choices=sorted(_PROFILES), default="balanced")
+    sim.add_argument("--length", type=int, default=64, help="instructions per pipe")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--vcd", help="write the control-signal waveform to this VCD file")
+    sim.add_argument(
+        "--coverage", action="store_true", help="also print specification coverage"
+    )
+
+    return parser
+
+
+# -- command implementations -------------------------------------------------------------
+
+
+def _cmd_list_archs(args: argparse.Namespace, out: TextIO) -> int:
+    for name in available_architectures():
+        out.write(f"{name}\n")
+    return 0
+
+
+def _cmd_show_arch(args: argparse.Namespace, out: TextIO) -> int:
+    architecture = load_architecture(args.arch)
+    out.write(architecture.describe() + "\n\n")
+    out.write(architecture.ascii_diagram() + "\n")
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace, out: TextIO) -> int:
+    _, functional = _resolve(args)
+    if args.format == "specfile":
+        if args.kind != "functional":
+            raise CliError("--format specfile only applies to the functional specification")
+        out.write(dumps_spec(functional))
+        return 0
+    unicode_symbols = args.format == "unicode"
+    if args.kind == "functional":
+        out.write(functional.describe(unicode_symbols=unicode_symbols) + "\n")
+    elif args.kind == "performance":
+        out.write(
+            derive_performance_spec(functional).describe(unicode_symbols=unicode_symbols) + "\n"
+        )
+    else:
+        out.write(
+            derive_combined_spec(functional).describe(unicode_symbols=unicode_symbols) + "\n"
+        )
+    return 0
+
+
+def _cmd_derive(args: argparse.Namespace, out: TextIO) -> int:
+    _, functional = _resolve(args)
+    out.write(symbolic_most_liberal(functional).describe() + "\n")
+    return 0
+
+
+def _cmd_check_properties(args: argparse.Namespace, out: TextIO) -> int:
+    _, functional = _resolve(args)
+    report = check_all_properties(functional)
+    out.write(report.describe() + "\n")
+    return 0 if report.all_hold() else 1
+
+
+def _cmd_assertions(args: argparse.Namespace, out: TextIO) -> int:
+    _, functional = _resolve(args)
+    assertions = testbench_assertions(functional)
+    if args.language == "sva":
+        out.write(sva_module(assertions, module_name=args.module_name) + "\n")
+    else:
+        out.write(psl_vunit(assertions, unit_name=args.module_name) + "\n")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace, out: TextIO) -> int:
+    _, functional = _resolve(args)
+    derivation = symbolic_most_liberal(functional)
+    if args.optimize:
+        derivation = optimize_derivation(functional, derivation).derivation
+    if args.style == "behavioural":
+        if args.language == "verilog":
+            out.write(behavioural_verilog(functional, derivation) + "\n")
+        else:
+            out.write(behavioural_vhdl(functional, derivation) + "\n")
+        return 0
+    synthesis = synthesize_interlock(functional, derivation=derivation)
+    if args.language == "verilog":
+        out.write(synthesis_to_verilog(synthesis) + "\n")
+    else:
+        out.write(synthesis_to_vhdl(synthesis) + "\n")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace, out: TextIO) -> int:
+    architecture, functional = _resolve(args)
+    if args.implementation == "derived":
+        interlock = ClosedFormInterlock.from_derivation(symbolic_most_liberal(functional))
+    else:
+        if architecture is None:
+            raise CliError("--implementation conservative requires --arch")
+        interlock = ClosedFormInterlock.from_spec(
+            conservative_variant(architecture), name="conservative-variant"
+        )
+    checker = PropertyChecker(functional, architecture, backend=args.backend)
+    functional_report = checker.check_functional(interlock)
+    performance_report = checker.check_performance(interlock)
+    equivalence_report = checker.check_equivalence_with_derived(interlock)
+    out.write(functional_report.describe() + "\n")
+    out.write(performance_report.describe() + "\n")
+    out.write(equivalence_report.describe() + "\n")
+    ok = (
+        functional_report.all_hold()
+        and performance_report.all_hold()
+        and equivalence_report.all_hold()
+    )
+    return 0 if ok else 1
+
+
+def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
+    architecture = load_architecture(args.arch)
+    functional = build_functional_spec(architecture)
+    interlock = ClosedFormInterlock.from_derivation(symbolic_most_liberal(functional))
+    profile = _PROFILES[args.profile]
+    profile = WorkloadProfile(
+        length=args.length,
+        dependency_rate=profile.dependency_rate,
+        store_rate=profile.store_rate,
+        wait_rate=profile.wait_rate,
+        bubble_rate=profile.bubble_rate,
+    )
+    program = WorkloadGenerator(architecture, seed=args.seed).generate(profile)
+    trace = simulate(architecture, interlock, program)
+    report = monitor_trace(trace, testbench_assertions(functional))
+
+    out.write(trace.describe() + "\n")
+    out.write(report.describe() + "\n")
+    breakdown = classify_stalls(trace, functional)
+    out.write(breakdown.describe() + "\n")
+    if args.coverage:
+        out.write(coverage_of(functional, [trace]).describe() + "\n")
+    if args.vcd:
+        write_vcd_file(trace, args.vcd)
+        out.write(f"VCD written to {args.vcd}\n")
+    return 0 if report.clean() else 1
+
+
+_COMMANDS = {
+    "list-archs": _cmd_list_archs,
+    "show-arch": _cmd_show_arch,
+    "spec": _cmd_spec,
+    "derive": _cmd_derive,
+    "check-properties": _cmd_check_properties,
+    "assertions": _cmd_assertions,
+    "synth": _cmd_synth,
+    "check": _cmd_check,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Entry point for ``python -m repro`` (returns the process exit code)."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except (CliError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

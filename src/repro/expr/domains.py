@@ -1,0 +1,166 @@
+"""Finite-domain layer: enumerated variables, equality atoms and quantifiers.
+
+The paper's specification language quantifies over small finite sets, e.g.::
+
+    ∃ r : SDREG . ∃ a : REGADDRESS .
+        p.1.r.regaddr = a  ∧  scb[a]  ∧  c.regaddr ≠ a
+
+This module lowers such formulas to the pure boolean :class:`~repro.expr.ast.Expr`
+language by (a) one-hot / binary encoding of enumerated variables and
+(b) expanding quantifiers into finite conjunctions and disjunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from .ast import Expr, FALSE, TRUE, Var, coerce
+from .builders import big_and, big_or
+
+
+@dataclass(frozen=True)
+class FiniteDomain:
+    """A named finite set of values, e.g. ``REGADDRESS = {0..7}``."""
+
+    name: str
+    values: Tuple
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"domain {self.name!r} must have at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"domain {self.name!r} has duplicate values")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __contains__(self, value) -> bool:
+        return value in self.values
+
+    def index_of(self, value) -> int:
+        """Position of ``value`` within the domain (used by encodings)."""
+        try:
+            return self.values.index(value)
+        except ValueError as exc:
+            raise ValueError(f"{value!r} is not in domain {self.name!r}") from exc
+
+
+def register_address_domain(num_registers: int) -> FiniteDomain:
+    """The paper's ``REGADDRESS = {num_registers-1 .. 0}`` domain."""
+    if num_registers <= 0:
+        raise ValueError("number of registers must be positive")
+    return FiniteDomain("REGADDRESS", tuple(range(num_registers)))
+
+
+SDREG = FiniteDomain("SDREG", ("src", "dst"))
+"""The paper's source/destination register selector domain."""
+
+
+class EnumVar:
+    """A symbolic variable ranging over a :class:`FiniteDomain`.
+
+    An enumerated variable named ``x`` over domain ``D`` is represented in
+    the boolean layer by the indicator variables ``x=v`` for each value
+    ``v`` of ``D``, e.g. ``c.regaddr=3``.  A well-formedness constraint
+    (exactly one indicator true) is available via :meth:`valid`.
+    """
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: FiniteDomain):
+        self.name = name
+        self.domain = domain
+
+    def indicator(self, value) -> Var:
+        """Boolean variable meaning ``self == value``."""
+        if value not in self.domain:
+            raise ValueError(f"{value!r} is not in domain {self.domain.name!r}")
+        return Var(f"{self.name}={value}")
+
+    def indicators(self) -> List[Var]:
+        """Indicator variables for every value, in domain order."""
+        return [self.indicator(v) for v in self.domain]
+
+    def equals_value(self, value) -> Expr:
+        """The atom ``self == value`` as a boolean expression."""
+        return self.indicator(value)
+
+    def not_equals_value(self, value) -> Expr:
+        """The atom ``self != value`` as a boolean expression."""
+        return ~self.indicator(value)
+
+    def equals(self, other: "EnumVar") -> Expr:
+        """The atom ``self == other`` for two variables over the same domain."""
+        if other.domain.name != self.domain.name or other.domain.values != self.domain.values:
+            raise ValueError(
+                f"cannot compare {self.name!r} over {self.domain.name!r} with "
+                f"{other.name!r} over {other.domain.name!r}"
+            )
+        return big_or(
+            self.indicator(v) & other.indicator(v) for v in self.domain
+        )
+
+    def not_equals(self, other: "EnumVar") -> Expr:
+        """The atom ``self != other``."""
+        return ~self.equals(other)
+
+    def valid(self) -> Expr:
+        """Exactly-one constraint over the indicator variables."""
+        from .builders import exactly_one
+
+        return exactly_one(self.indicators())
+
+    def assignment_for(self, value) -> Dict[str, bool]:
+        """Concrete assignment of the indicator variables encoding ``value``."""
+        if value not in self.domain:
+            raise ValueError(f"{value!r} is not in domain {self.domain.name!r}")
+        return {self.indicator(v).name: (v == value) for v in self.domain}
+
+    def __repr__(self) -> str:
+        return f"EnumVar({self.name!r}, {self.domain.name})"
+
+
+def exists(domain: FiniteDomain, body: Callable[[object], Expr]) -> Expr:
+    """Existential quantification over a finite domain.
+
+    ``exists(D, lambda v: phi(v))`` expands to ``phi(v1) | phi(v2) | ...``.
+    """
+    return big_or(coerce(body(value)) for value in domain)
+
+
+def forall(domain: FiniteDomain, body: Callable[[object], Expr]) -> Expr:
+    """Universal quantification over a finite domain (finite conjunction)."""
+    return big_and(coerce(body(value)) for value in domain)
+
+
+def exists_many(domains: Sequence[FiniteDomain], body: Callable[..., Expr]) -> Expr:
+    """Nested existential quantification over several domains."""
+    if not domains:
+        return coerce(body())
+    head, *rest = domains
+    return exists(head, lambda v: exists_many(rest, lambda *more: body(v, *more)))
+
+
+def forall_many(domains: Sequence[FiniteDomain], body: Callable[..., Expr]) -> Expr:
+    """Nested universal quantification over several domains."""
+    if not domains:
+        return coerce(body())
+    head, *rest = domains
+    return forall(head, lambda v: forall_many(rest, lambda *more: body(v, *more)))
+
+
+def scoreboard_bit(prefix: str, address: int) -> Var:
+    """Boolean variable for a scoreboard entry, e.g. ``scb[3]``."""
+    return Var(f"{prefix}[{address}]")
+
+
+def encode_enum_assignment(assignments: Iterable[Tuple[EnumVar, object]]) -> Dict[str, bool]:
+    """Merge concrete values of several enumerated variables into one boolean map."""
+    out: Dict[str, bool] = {}
+    for enum_var, value in assignments:
+        out.update(enum_var.assignment_for(value))
+    return out

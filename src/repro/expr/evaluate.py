@@ -1,0 +1,168 @@
+"""Evaluation of expressions under (possibly partial) assignments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+from .ast import (
+    And,
+    Const,
+    Expr,
+    FALSE,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    TRUE,
+    Var,
+)
+
+
+class UnboundVariableError(KeyError):
+    """Raised when evaluation reaches a variable missing from the assignment."""
+
+
+def eval_expr(expr: Expr, assignment: Mapping[str, bool]) -> bool:
+    """Evaluate ``expr`` to a Python bool under a total assignment.
+
+    Raises :class:`UnboundVariableError` if a variable is unassigned.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return bool(assignment[expr.name])
+        except KeyError as exc:
+            raise UnboundVariableError(expr.name) from exc
+    if isinstance(expr, Not):
+        return not eval_expr(expr.operand, assignment)
+    if isinstance(expr, And):
+        return all(eval_expr(op, assignment) for op in expr.operands)
+    if isinstance(expr, Or):
+        return any(eval_expr(op, assignment) for op in expr.operands)
+    if isinstance(expr, Implies):
+        return (not eval_expr(expr.antecedent, assignment)) or eval_expr(
+            expr.consequent, assignment
+        )
+    if isinstance(expr, Iff):
+        return eval_expr(expr.left, assignment) == eval_expr(expr.right, assignment)
+    if isinstance(expr, Ite):
+        if eval_expr(expr.cond, assignment):
+            return eval_expr(expr.then, assignment)
+        return eval_expr(expr.orelse, assignment)
+    raise TypeError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def partial_eval(expr: Expr, assignment: Mapping[str, bool]) -> Expr:
+    """Simplify ``expr`` given values for a subset of its variables.
+
+    Unassigned variables are left symbolic.  The result is constant-folded
+    but not otherwise simplified; see :func:`repro.expr.transform.simplify`.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        if expr.name in assignment:
+            return TRUE if assignment[expr.name] else FALSE
+        return expr
+    if isinstance(expr, Not):
+        inner = partial_eval(expr.operand, assignment)
+        if isinstance(inner, Const):
+            return FALSE if inner.value else TRUE
+        return Not(inner)
+    if isinstance(expr, And):
+        parts = []
+        for op in expr.operands:
+            val = partial_eval(op, assignment)
+            if isinstance(val, Const):
+                if not val.value:
+                    return FALSE
+                continue
+            parts.append(val)
+        if not parts:
+            return TRUE
+        if len(parts) == 1:
+            return parts[0]
+        return And(*parts)
+    if isinstance(expr, Or):
+        parts = []
+        for op in expr.operands:
+            val = partial_eval(op, assignment)
+            if isinstance(val, Const):
+                if val.value:
+                    return TRUE
+                continue
+            parts.append(val)
+        if not parts:
+            return FALSE
+        if len(parts) == 1:
+            return parts[0]
+        return Or(*parts)
+    if isinstance(expr, Implies):
+        ante = partial_eval(expr.antecedent, assignment)
+        cons = partial_eval(expr.consequent, assignment)
+        if isinstance(ante, Const):
+            return cons if ante.value else TRUE
+        if isinstance(cons, Const):
+            return TRUE if cons.value else Not(ante)
+        return Implies(ante, cons)
+    if isinstance(expr, Iff):
+        left = partial_eval(expr.left, assignment)
+        right = partial_eval(expr.right, assignment)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return TRUE if left.value == right.value else FALSE
+        if isinstance(left, Const):
+            return right if left.value else Not(right)
+        if isinstance(right, Const):
+            return left if right.value else Not(left)
+        return Iff(left, right)
+    if isinstance(expr, Ite):
+        cond = partial_eval(expr.cond, assignment)
+        if isinstance(cond, Const):
+            branch = expr.then if cond.value else expr.orelse
+            return partial_eval(branch, assignment)
+        return Ite(cond, partial_eval(expr.then, assignment), partial_eval(expr.orelse, assignment))
+    raise TypeError(f"cannot partially evaluate node {type(expr).__name__}")
+
+
+def all_assignments(names) -> Iterator[Dict[str, bool]]:
+    """Enumerate every total assignment over the given variable names.
+
+    Names are sorted so the enumeration order is deterministic.  Intended
+    for exhaustive checks over small variable sets (the interlock control
+    space of a single architecture is typically well under 30 variables).
+    """
+    ordered = sorted(names)
+    count = len(ordered)
+    for bits in range(1 << count):
+        yield {
+            name: bool((bits >> idx) & 1)
+            for idx, name in enumerate(ordered)
+        }
+
+
+def is_tautology_by_enumeration(expr: Expr, max_vars: Optional[int] = 24) -> bool:
+    """Decide validity by brute-force enumeration.
+
+    Intended for tests and for small control cones; larger formulas should
+    use :mod:`repro.sat` or :mod:`repro.bdd`.
+    """
+    names = expr.variables()
+    if max_vars is not None and len(names) > max_vars:
+        raise ValueError(
+            f"refusing to enumerate {len(names)} variables (> {max_vars}); "
+            "use the SAT or BDD backend instead"
+        )
+    return all(eval_expr(expr, assignment) for assignment in all_assignments(names))
+
+
+def is_satisfiable_by_enumeration(expr: Expr, max_vars: Optional[int] = 24) -> bool:
+    """Decide satisfiability by brute-force enumeration (small formulas only)."""
+    names = expr.variables()
+    if max_vars is not None and len(names) > max_vars:
+        raise ValueError(
+            f"refusing to enumerate {len(names)} variables (> {max_vars}); "
+            "use the SAT or BDD backend instead"
+        )
+    return any(eval_expr(expr, assignment) for assignment in all_assignments(names))

@@ -1,0 +1,282 @@
+"""Two-level logic minimisation (Quine–McCluskey) for derived stall conditions.
+
+The closed forms produced by the fixed-point derivation are correct but not
+necessarily small: substituting downstream moe flags into upstream stall
+conditions duplicates terms, and the synthesiser lowers whatever it is
+given.  This module provides a classic exact-prime-implicant /
+greedy-cover minimiser that the synthesis optimisation pass
+(:mod:`repro.synth.optimize`) applies per moe flag before lowering to
+gates.
+
+The minimiser is exact in the prime-implicant generation step and uses
+essential-prime selection followed by a greedy cover for the remainder,
+which is the usual engineering compromise; for the expression sizes that
+occur in interlock control logic (tens of variables per stage, but with
+small on-sets once the environment assumptions are applied) this is more
+than adequate.
+
+The entry point is :func:`minimize_expr`; :func:`minimize_with_care_set`
+additionally accepts a care-set expression so that input combinations ruled
+out by the environment assumptions (for example two grants on one
+completion bus) can be treated as don't-cares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .ast import And, Const, Expr, FALSE, Not, Or, TRUE, Var
+from .builders import big_and, big_or
+from .evaluate import all_assignments, eval_expr
+
+__all__ = [
+    "Implicant",
+    "MinimizationResult",
+    "literal_count",
+    "term_count",
+    "prime_implicants",
+    "minimum_cover",
+    "minimize_expr",
+    "minimize_with_care_set",
+]
+
+#: Variable-count guard: enumeration is exponential, and interlock stall
+#: conditions beyond this size should be minimised per-disjunct instead.
+DEFAULT_MAX_VARIABLES = 14
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A product term over an ordered variable list.
+
+    ``values[i]`` is True for a positive literal of variable *i*, False for
+    a negative literal and None when the variable does not appear.
+    """
+
+    values: Tuple[Optional[bool], ...]
+
+    @classmethod
+    def from_minterm(cls, minterm: int, num_vars: int) -> "Implicant":
+        """The implicant covering exactly one minterm (all variables bound)."""
+        bits = tuple(bool((minterm >> (num_vars - 1 - i)) & 1) for i in range(num_vars))
+        return cls(values=bits)
+
+    def covers(self, minterm: int) -> bool:
+        """Does this implicant cover the given minterm index?"""
+        num_vars = len(self.values)
+        for position, value in enumerate(self.values):
+            if value is None:
+                continue
+            bit = bool((minterm >> (num_vars - 1 - position)) & 1)
+            if bit != value:
+                return False
+        return True
+
+    def combine(self, other: "Implicant") -> Optional["Implicant"]:
+        """Merge two implicants differing in exactly one bound position."""
+        if len(self.values) != len(other.values):
+            return None
+        difference = -1
+        for position, (mine, theirs) in enumerate(zip(self.values, other.values)):
+            if mine == theirs:
+                continue
+            if mine is None or theirs is None:
+                return None
+            if difference != -1:
+                return None
+            difference = position
+        if difference == -1:
+            return None
+        merged = list(self.values)
+        merged[difference] = None
+        return Implicant(values=tuple(merged))
+
+    def num_literals(self) -> int:
+        """Number of bound variables (literals in the product term)."""
+        return sum(1 for value in self.values if value is not None)
+
+    def to_expr(self, names: Sequence[str]) -> Expr:
+        """Render as an AND of literals (TRUE for the empty product)."""
+        literals: List[Expr] = []
+        for position, value in enumerate(self.values):
+            if value is None:
+                continue
+            literal: Expr = Var(names[position])
+            if not value:
+                literal = Not(literal)
+            literals.append(literal)
+        if not literals:
+            return TRUE
+        return big_and(literals)
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of one minimisation run."""
+
+    expression: Expr
+    implicants: List[Implicant]
+    variables: List[str]
+    minterm_count: int
+    dont_care_count: int
+
+    def literal_count(self) -> int:
+        """Total literals over the selected implicants."""
+        return sum(implicant.num_literals() for implicant in self.implicants)
+
+
+def literal_count(expr: Expr) -> int:
+    """Number of variable occurrences in an expression (a cost proxy)."""
+    count = 0
+    for node in expr.walk():
+        if isinstance(node, Var):
+            count += 1
+    return count
+
+
+def term_count(expr: Expr) -> int:
+    """Number of top-level disjuncts (1 for non-Or expressions)."""
+    return len(expr.operands) if isinstance(expr, Or) else 1
+
+
+def _minterms_of(
+    expr: Expr, names: Sequence[str], care: Optional[Expr]
+) -> Tuple[Set[int], Set[int]]:
+    """On-set and don't-care-set minterm indices of ``expr`` over ``names``."""
+    on_set: Set[int] = set()
+    dont_care: Set[int] = set()
+    num_vars = len(names)
+    for assignment in all_assignments(names):
+        index = 0
+        for position, name in enumerate(names):
+            if assignment[name]:
+                index |= 1 << (num_vars - 1 - position)
+        if care is not None and not eval_expr(care, assignment):
+            dont_care.add(index)
+        elif eval_expr(expr, assignment):
+            on_set.add(index)
+    return on_set, dont_care
+
+
+def prime_implicants(minterms: Set[int], num_vars: int) -> List[Implicant]:
+    """All prime implicants of the given on-set (plus don't-cares) minterms."""
+    if not minterms:
+        return []
+    current: Set[Implicant] = {
+        Implicant.from_minterm(minterm, num_vars) for minterm in minterms
+    }
+    primes: Set[Implicant] = set()
+    while current:
+        combined: Set[Implicant] = set()
+        used: Set[Implicant] = set()
+        current_list = sorted(current, key=lambda imp: imp.values.__repr__())
+        for i, first in enumerate(current_list):
+            for second in current_list[i + 1:]:
+                merged = first.combine(second)
+                if merged is not None:
+                    combined.add(merged)
+                    used.add(first)
+                    used.add(second)
+        primes.update(implicant for implicant in current if implicant not in used)
+        current = combined
+    return sorted(primes, key=lambda imp: (imp.num_literals(), repr(imp.values)))
+
+
+def minimum_cover(primes: List[Implicant], minterms: Set[int]) -> List[Implicant]:
+    """Select a small set of primes covering every on-set minterm.
+
+    Essential primes are always selected; the rest of the cover is chosen
+    greedily by descending coverage (ties broken towards fewer literals).
+    """
+    remaining = set(minterms)
+    cover: List[Implicant] = []
+
+    # Essential primes: the only prime covering some minterm.
+    for minterm in sorted(minterms):
+        covering = [prime for prime in primes if prime.covers(minterm)]
+        if len(covering) == 1 and covering[0] not in cover:
+            cover.append(covering[0])
+    for prime in cover:
+        remaining -= {minterm for minterm in remaining if prime.covers(minterm)}
+
+    # Greedy cover of whatever is left.
+    while remaining:
+        best = None
+        best_key = (-1, 0)
+        for prime in primes:
+            if prime in cover:
+                continue
+            covered = sum(1 for minterm in remaining if prime.covers(minterm))
+            key = (covered, -prime.num_literals())
+            if covered and key > best_key:
+                best = prime
+                best_key = key
+        if best is None:  # pragma: no cover - cannot happen with true primes
+            raise RuntimeError("prime implicants do not cover the on-set")
+        cover.append(best)
+        remaining -= {minterm for minterm in remaining if best.covers(minterm)}
+    return cover
+
+
+def minimize_with_care_set(
+    expr: Expr,
+    care: Optional[Expr] = None,
+    max_vars: int = DEFAULT_MAX_VARIABLES,
+) -> MinimizationResult:
+    """Minimise ``expr`` treating assignments outside ``care`` as don't-cares.
+
+    Raises ValueError when the support exceeds ``max_vars`` (enumeration
+    would be too expensive); callers should fall back to structural
+    simplification in that case.
+    """
+    names = sorted(expr.variables() | (care.variables() if care is not None else frozenset()))
+    if len(names) > max_vars:
+        raise ValueError(
+            f"expression has {len(names)} variables, more than the enumeration "
+            f"limit of {max_vars}"
+        )
+    if not names:
+        value = eval_expr(expr, {})
+        constant: Expr = TRUE if value else FALSE
+        return MinimizationResult(
+            expression=constant,
+            implicants=[Implicant(values=())] if value else [],
+            variables=[],
+            minterm_count=1 if value else 0,
+            dont_care_count=0,
+        )
+
+    on_set, dont_care = _minterms_of(expr, names, care)
+    if not on_set:
+        return MinimizationResult(
+            expression=FALSE,
+            implicants=[],
+            variables=names,
+            minterm_count=0,
+            dont_care_count=len(dont_care),
+        )
+    if len(on_set) + len(dont_care) == 1 << len(names):
+        return MinimizationResult(
+            expression=TRUE,
+            implicants=[Implicant(values=(None,) * len(names))],
+            variables=names,
+            minterm_count=len(on_set),
+            dont_care_count=len(dont_care),
+        )
+
+    primes = prime_implicants(on_set | dont_care, len(names))
+    cover = minimum_cover(primes, on_set)
+    expression = big_or(implicant.to_expr(names) for implicant in cover)
+    return MinimizationResult(
+        expression=expression,
+        implicants=cover,
+        variables=names,
+        minterm_count=len(on_set),
+        dont_care_count=len(dont_care),
+    )
+
+
+def minimize_expr(expr: Expr, max_vars: int = DEFAULT_MAX_VARIABLES) -> Expr:
+    """Minimise an expression to a small sum-of-products equivalent."""
+    return minimize_with_care_set(expr, care=None, max_vars=max_vars).expression

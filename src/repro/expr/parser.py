@@ -1,0 +1,159 @@
+"""A small recursive-descent parser for the textual specification language.
+
+Grammar (lowest to highest precedence)::
+
+    iff     := implies ( '<->' implies )*
+    implies := or ( '->' or )*           (right associative)
+    or      := and ( '|' and )*
+    and     := not ( '&' not )*
+    not     := '!' not | atom
+    atom    := 'True' | 'False' | IDENT | '(' iff ')'
+
+Identifiers may contain dots, brackets, digits and ``=`` so that the
+pipeline signal names used throughout the library (``long.1.moe``,
+``scb[3]``, ``c.regaddr=5``) round-trip through :func:`repro.expr.printer.to_text`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from .ast import Expr, FALSE, Iff, Implies, Not, TRUE, Var
+from .builders import big_and, big_or
+
+
+class ParseError(ValueError):
+    """Raised when the input cannot be parsed."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<IFF><->)
+  | (?P<IMPLIES>->)
+  | (?P<AND>&&?)
+  | (?P<OR>\|\|?)
+  | (?P<NOT>!|~)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_.\[\]=]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self.source!r}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.text!r} at offset {token.position}"
+            )
+        return token
+
+    def parse(self) -> Expr:
+        expr = self.parse_iff()
+        leftover = self.peek()
+        if leftover is not None:
+            raise ParseError(
+                f"unexpected token {leftover.text!r} at offset {leftover.position}"
+            )
+        return expr
+
+    def parse_iff(self) -> Expr:
+        left = self.parse_implies()
+        while self.peek() is not None and self.peek().kind == "IFF":
+            self.advance()
+            right = self.parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def parse_implies(self) -> Expr:
+        left = self.parse_or()
+        if self.peek() is not None and self.peek().kind == "IMPLIES":
+            self.advance()
+            right = self.parse_implies()  # right associative
+            return Implies(left, right)
+        return left
+
+    def parse_or(self) -> Expr:
+        parts = [self.parse_and()]
+        while self.peek() is not None and self.peek().kind == "OR":
+            self.advance()
+            parts.append(self.parse_and())
+        return big_or(parts)
+
+    def parse_and(self) -> Expr:
+        parts = [self.parse_not()]
+        while self.peek() is not None and self.peek().kind == "AND":
+            self.advance()
+            parts.append(self.parse_not())
+        return big_and(parts)
+
+    def parse_not(self) -> Expr:
+        if self.peek() is not None and self.peek().kind == "NOT":
+            self.advance()
+            return Not(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.advance()
+        if token.kind == "LPAREN":
+            expr = self.parse_iff()
+            self.expect("RPAREN")
+            return expr
+        if token.kind == "IDENT":
+            if token.text == "True":
+                return TRUE
+            if token.text == "False":
+                return FALSE
+            return Var(token.text)
+        raise ParseError(
+            f"expected an atom but found {token.text!r} at offset {token.position}"
+        )
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a textual formula into an :class:`~repro.expr.ast.Expr`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty input")
+    return _Parser(tokens, text).parse()

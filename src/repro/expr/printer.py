@@ -1,0 +1,118 @@
+"""Pretty printers for expressions: plain text, paper-style unicode, Verilog, VHDL."""
+
+from __future__ import annotations
+
+from .ast import And, Const, Expr, Iff, Implies, Ite, Not, Or, Var
+
+# Precedence levels, higher binds tighter.
+_PREC = {
+    Iff: 1,
+    Implies: 2,
+    Or: 3,
+    And: 4,
+    Not: 5,
+    Var: 6,
+    Const: 6,
+    Ite: 1,
+}
+
+
+def _wrap(text: str, child_prec: int, parent_prec: int) -> str:
+    return f"({text})" if child_prec < parent_prec else text
+
+
+def to_text(expr: Expr) -> str:
+    """ASCII rendering: ``!``, ``&``, ``|``, ``->``, ``<->``."""
+    return _render(expr, {"not": "!", "and": " & ", "or": " | ", "implies": " -> ", "iff": " <-> "})
+
+
+def to_unicode(expr: Expr) -> str:
+    """Paper-style rendering: ``¬``, ``∧``, ``∨``, ``→``, ``↔``."""
+    return _render(expr, {"not": "¬", "and": " ∧ ", "or": " ∨ ", "implies": " → ", "iff": " ↔ "})
+
+
+def to_verilog(expr: Expr) -> str:
+    """Verilog expression rendering (identifiers are sanitised by the caller)."""
+    return _render(
+        expr,
+        {"not": "!", "and": " && ", "or": " || ", "implies": None, "iff": None},
+        verilog=True,
+    )
+
+
+def to_vhdl(expr: Expr) -> str:
+    """VHDL expression rendering over ``std_logic`` operands.
+
+    Implications and equivalences are rewritten into not/or and ``=`` so the
+    output is a plain boolean expression; constants become ``'1'``/``'0'``.
+    Identifiers are assumed to have been sanitised by the caller (VHDL is
+    case-insensitive and forbids ``.`` and ``[]`` like Verilog does).
+    """
+    return _render(
+        expr,
+        {"not": "not ", "and": " and ", "or": " or ", "implies": None, "iff": None},
+        vhdl=True,
+    )
+
+
+def _render(expr: Expr, symbols, verilog: bool = False, vhdl: bool = False) -> str:
+    def nary_part(op: Expr, parent: Expr) -> str:
+        """One operand of an And/Or, parenthesised as the dialect requires."""
+        text = rec(op)
+        if vhdl:
+            # VHDL forbids mixing distinct binary logical operators without
+            # parentheses, so wrap any compound child of a different class.
+            needs_parens = not isinstance(op, (Var, Const, Not, type(parent)))
+            return f"({text})" if needs_parens else text
+        return _wrap(text, _PREC[type(op)], _PREC[type(parent)])
+
+    def rec(node: Expr) -> str:
+        prec = _PREC[type(node)]
+        if isinstance(node, Const):
+            if verilog:
+                return "1'b1" if node.value else "1'b0"
+            if vhdl:
+                return "'1'" if node.value else "'0'"
+            return "True" if node.value else "False"
+        if isinstance(node, Var):
+            return node.name
+        if isinstance(node, Not):
+            inner = rec(node.operand)
+            inner = _wrap(inner, _PREC[type(node.operand)], prec)
+            return f"{symbols['not']}{inner}"
+        if isinstance(node, And):
+            return symbols["and"].join(nary_part(op, node) for op in node.operands)
+        if isinstance(node, Or):
+            return symbols["or"].join(nary_part(op, node) for op in node.operands)
+        if isinstance(node, Implies):
+            if verilog:
+                ante = _wrap(rec(node.antecedent), _PREC[type(node.antecedent)], _PREC[Not])
+                cons = _wrap(rec(node.consequent), _PREC[type(node.consequent)], _PREC[Or])
+                return f"!{ante} || {cons}"
+            if vhdl:
+                ante = rec(node.antecedent)
+                cons = rec(node.consequent)
+                return f"(not ({ante})) or ({cons})"
+            ante = _wrap(rec(node.antecedent), _PREC[type(node.antecedent)], prec + 1)
+            cons = _wrap(rec(node.consequent), _PREC[type(node.consequent)], prec)
+            return f"{ante}{symbols['implies']}{cons}"
+        if isinstance(node, Iff):
+            left = _wrap(rec(node.left), _PREC[type(node.left)], prec + 1)
+            right = _wrap(rec(node.right), _PREC[type(node.right)], prec + 1)
+            if verilog:
+                return f"{left} == {right}"
+            if vhdl:
+                return f"({rec(node.left)}) = ({rec(node.right)})"
+            return f"{left}{symbols['iff']}{right}"
+        if isinstance(node, Ite):
+            cond = rec(node.cond)
+            then = rec(node.then)
+            orelse = rec(node.orelse)
+            if verilog:
+                return f"({cond} ? {then} : {orelse})"
+            if vhdl:
+                return f"({then}) when ({cond}) else ({orelse})"
+            return f"(if {cond} then {then} else {orelse})"
+        raise TypeError(f"cannot print node {type(node).__name__}")
+
+    return rec(expr)

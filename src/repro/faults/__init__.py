@@ -1,0 +1,13 @@
+"""Fault injection and detection campaigns (reproduction of the Section 4 results)."""
+
+from .campaigns import CampaignSummary, DetectionRecord, FaultCampaign
+from .injection import FaultClass, FaultInjector, InjectedFault
+
+__all__ = [
+    "CampaignSummary",
+    "DetectionRecord",
+    "FaultCampaign",
+    "FaultClass",
+    "FaultInjector",
+    "InjectedFault",
+]

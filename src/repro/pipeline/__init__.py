@@ -1,0 +1,78 @@
+"""Pipeline micro-architecture substrate: description, simulator, interlocks."""
+
+from .arbitration import (
+    Arbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    fixed_priority_grant_expressions,
+    make_arbiter,
+)
+from .instructions import (
+    Instruction,
+    InstructionKind,
+    Program,
+    alu,
+    bubble,
+    store,
+    wait,
+)
+from .interlock import (
+    ClosedFormInterlock,
+    ConservativeCompletionInterlock,
+    Interlock,
+    SpecFixedPointInterlock,
+    StuckResetInterlock,
+    reference_interlock,
+)
+from .scoreboard import Scoreboard
+from .simulator import PipelineSimulator, SimulatorConfig, simulate
+from .structure import (
+    Architecture,
+    ArchitectureError,
+    CompletionBusSpec,
+    PipeSpec,
+    ScoreboardSpec,
+    StageRef,
+    StallInput,
+)
+from .trace import CycleRecord, HazardEvent, HazardKind, SimulationTrace
+from .vcd import VcdWriter, trace_to_vcd, write_vcd_file
+
+__all__ = [
+    "Arbiter",
+    "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+    "fixed_priority_grant_expressions",
+    "make_arbiter",
+    "Instruction",
+    "InstructionKind",
+    "Program",
+    "alu",
+    "bubble",
+    "store",
+    "wait",
+    "ClosedFormInterlock",
+    "ConservativeCompletionInterlock",
+    "Interlock",
+    "SpecFixedPointInterlock",
+    "StuckResetInterlock",
+    "reference_interlock",
+    "Scoreboard",
+    "PipelineSimulator",
+    "SimulatorConfig",
+    "simulate",
+    "Architecture",
+    "ArchitectureError",
+    "CompletionBusSpec",
+    "PipeSpec",
+    "ScoreboardSpec",
+    "StageRef",
+    "StallInput",
+    "CycleRecord",
+    "HazardEvent",
+    "HazardKind",
+    "SimulationTrace",
+    "VcdWriter",
+    "trace_to_vcd",
+    "write_vcd_file",
+]

@@ -1,0 +1,145 @@
+"""Simulation traces: per-cycle records, hazard events and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class HazardKind(Enum):
+    """Physical failures the simulator can detect independently of the spec."""
+
+    OVERWRITE = "overwrite"  # a stage's content was clobbered before it could leave
+    LOST_WRITEBACK = "lost_writeback"  # a completing instruction was dropped without its bus slot
+    STALE_OPERAND = "stale_operand"  # issued while a source register was outstanding and not bypassed
+    WAW_VIOLATION = "waw_violation"  # issued while its destination register was still outstanding
+    ISSUED_DURING_WAIT = "issued_during_wait"  # the issue stage accepted work during an enforced wait
+    LOCKSTEP_BROKEN = "lockstep_broken"  # lock-step issue stages moved out of synchrony
+
+
+@dataclass(frozen=True)
+class HazardEvent:
+    """One physically observed hazard (the consequence of a functional bug)."""
+
+    cycle: int
+    kind: HazardKind
+    pipe: str
+    stage: int
+    instruction_uid: Optional[int] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Single-line rendering for reports."""
+        uid = f" insn#{self.instruction_uid}" if self.instruction_uid is not None else ""
+        return f"cycle {self.cycle}: {self.kind.value} at {self.pipe}.{self.stage}{uid} {self.detail}"
+
+
+@dataclass
+class CycleRecord:
+    """Everything observable about one simulated cycle.
+
+    Attributes:
+        cycle: cycle index, starting at 0.
+        inputs: control-input valuation presented to the interlock.
+        moe: moe flag valuation the interlock produced.
+        occupancy: per-stage occupying instruction uid (None when empty),
+            keyed by ``"pipe.index"``.
+        issued: uids of instructions that entered stage 1 this cycle.
+        retired: uids of instructions that completed or retired this cycle.
+        moved: stage keys whose content advanced this cycle.
+        stalled: stage keys that held content which could not advance.
+    """
+
+    cycle: int
+    inputs: Dict[str, bool]
+    moe: Dict[str, bool]
+    occupancy: Dict[str, Optional[int]]
+    issued: List[int] = field(default_factory=list)
+    retired: List[int] = field(default_factory=list)
+    moved: List[str] = field(default_factory=list)
+    stalled: List[str] = field(default_factory=list)
+
+    def signals(self) -> Dict[str, bool]:
+        """Merged input + moe valuation, as sampled by assertion monitors."""
+        merged = dict(self.inputs)
+        merged.update(self.moe)
+        return merged
+
+
+@dataclass
+class SimulationTrace:
+    """Result of one simulation run."""
+
+    architecture_name: str
+    interlock_name: str
+    cycles: List[CycleRecord] = field(default_factory=list)
+    hazards: List[HazardEvent] = field(default_factory=list)
+    retired_instructions: int = 0
+    issued_instructions: int = 0
+    dropped_instructions: int = 0
+
+    # -- aggregate statistics -------------------------------------------------------
+
+    def num_cycles(self) -> int:
+        """Number of simulated cycles."""
+        return len(self.cycles)
+
+    def hazard_count(self, kind: Optional[HazardKind] = None) -> int:
+        """Number of hazards observed (optionally of one kind)."""
+        if kind is None:
+            return len(self.hazards)
+        return sum(1 for hazard in self.hazards if hazard.kind is kind)
+
+    def hazard_free(self) -> bool:
+        """True when the run completed without any physical hazard."""
+        return not self.hazards
+
+    def instructions_per_cycle(self) -> float:
+        """Retired instructions per cycle (the throughput measure)."""
+        if not self.cycles:
+            return 0.0
+        return self.retired_instructions / len(self.cycles)
+
+    def cycles_per_instruction(self) -> float:
+        """Average cycles per retired instruction (lower is better)."""
+        if self.retired_instructions == 0:
+            return float("inf")
+        return len(self.cycles) / self.retired_instructions
+
+    def stall_cycles(self, moe_flag: str) -> int:
+        """Number of cycles in which a given moe flag was low."""
+        return sum(1 for record in self.cycles if not record.moe.get(moe_flag, True))
+
+    def stall_cycles_by_flag(self) -> Dict[str, int]:
+        """Low-cycle counts for every moe flag."""
+        if not self.cycles:
+            return {}
+        counts: Dict[str, int] = {flag: 0 for flag in self.cycles[0].moe}
+        for record in self.cycles:
+            for flag, value in record.moe.items():
+                if not value:
+                    counts[flag] = counts.get(flag, 0) + 1
+        return counts
+
+    def total_stall_cycles(self) -> int:
+        """Sum of low cycles over all moe flags."""
+        return sum(self.stall_cycles_by_flag().values())
+
+    def describe(self) -> str:
+        """Multi-line summary used by examples and benchmark output."""
+        lines = [
+            f"Simulation of {self.architecture_name} with interlock {self.interlock_name!r}:",
+            f"  cycles:             {self.num_cycles()}",
+            f"  issued:             {self.issued_instructions}",
+            f"  retired:            {self.retired_instructions}",
+            f"  dropped:            {self.dropped_instructions}",
+            f"  IPC:                {self.instructions_per_cycle():.3f}",
+            f"  stall cycles (sum): {self.total_stall_cycles()}",
+            f"  hazards:            {self.hazard_count()}",
+        ]
+        if self.hazards:
+            lines.append("  first hazards:")
+            for hazard in self.hazards[:5]:
+                lines.append(f"    {hazard.describe()}")
+        return "\n".join(lines)

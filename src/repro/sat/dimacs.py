@@ -1,0 +1,55 @@
+"""DIMACS CNF import and export.
+
+Interlock verification problems are tiny by SAT standards, but DIMACS
+support makes it easy to cross-check results with an external solver and to
+archive the generated problems alongside the specification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+Clause = Tuple[int, ...]
+
+
+def to_dimacs(num_vars: int, clauses: Iterable[Clause], comments: Iterable[str] = ()) -> str:
+    """Render a clause set in DIMACS CNF format."""
+    clause_list = [tuple(clause) for clause in clauses]
+    lines: List[str] = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {num_vars} {len(clause_list)}")
+    for clause in clause_list:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> Tuple[int, List[Clause]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``."""
+    num_vars = 0
+    declared_clauses = None
+    clauses: List[Clause] = []
+    pending: List[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {raw_line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(tuple(pending))
+                pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        clauses.append(tuple(pending))
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise ValueError(
+            f"problem line declares {declared_clauses} clauses but {len(clauses)} were parsed"
+        )
+    return num_vars, clauses

@@ -1,0 +1,275 @@
+"""Fixed-point derivation of the most liberal moe assignment (Section 3.2).
+
+The paper proves that, for a functional specification with the Section 3.1
+properties, a unique *most liberal* assignment ``MOE`` to the moving-or-
+empty flags exists and satisfies::
+
+    MOE_i  =  ¬ F_i(¬MOE)                                   (equation 4)
+
+This module computes that fixed point in two ways:
+
+* **concretely** (:func:`concrete_most_liberal`) — for a given valuation of
+  the primary inputs, producing the boolean vector the interlock should
+  drive on that cycle.  The cycle-accurate simulator's reference interlock
+  calls this every cycle.
+
+* **symbolically** (:func:`symbolic_most_liberal`) — producing, for every
+  stage, a closed-form expression of ``MOE_i`` over the primary inputs
+  only.  This is what the assertion generator and the RTL synthesiser
+  consume.
+
+Both start from the all-true vector (the most liberal candidate) and apply
+``MOE := ¬F(¬MOE)`` until convergence; monotonicity of ``F`` makes the
+iteration a descending chain on a finite lattice, so it terminates, and the
+greatest fixed point it reaches is exactly the paper's ``MOE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..bdd.expr_to_bdd import ExprBddContext
+from ..expr.ast import Expr, Not, TRUE, Var
+from ..expr.evaluate import eval_expr
+from ..expr.printer import to_text
+from ..expr.transform import simplify, substitute
+from .functional import FunctionalSpec, SpecificationError
+from .performance import CombinedSpec, PerformanceSpec
+
+
+class DerivationError(RuntimeError):
+    """Raised when the fixed-point iteration fails to converge.
+
+    With a well-formed (monotone) functional specification this cannot
+    happen; it indicates the specification violates Section 3.1.
+    """
+
+
+@dataclass
+class DerivationResult:
+    """Outcome of a symbolic fixed-point derivation.
+
+    Attributes:
+        spec: the functional specification the derivation started from.
+        moe_expressions: closed-form ``MOE_i`` per moe flag, over primary
+            inputs only.
+        iterations: number of global iterations until convergence.
+        feed_forward: whether the moe dependency graph was acyclic (if so
+            the iteration converges in one pass over a topological order).
+        bdd_sizes: per-flag BDD node counts of the closed forms, a rough
+            complexity measure reported by the scale benchmarks.
+    """
+
+    spec: FunctionalSpec
+    moe_expressions: Dict[str, Expr]
+    iterations: int
+    feed_forward: bool
+    bdd_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def stall_expressions(self) -> Dict[str, Expr]:
+        """Closed-form stall conditions ``¬MOE_i`` per stage."""
+        return {moe: simplify(Not(expr)) for moe, expr in self.moe_expressions.items()}
+
+    def moe_expression(self, moe: str) -> Expr:
+        """The closed form of one flag."""
+        return self.moe_expressions[moe]
+
+    def evaluate(self, input_valuation: Mapping[str, bool]) -> Dict[str, bool]:
+        """Evaluate every closed form under a concrete input valuation."""
+        return {
+            moe: eval_expr(expr, input_valuation)
+            for moe, expr in self.moe_expressions.items()
+        }
+
+    def describe(self) -> str:
+        """Human-readable listing of the closed forms."""
+        lines = [
+            f"Maximum-performance moe assignment for {self.spec.name} "
+            f"(converged after {self.iterations} iteration(s)):"
+        ]
+        for moe, expr in self.moe_expressions.items():
+            lines.append(f"  {moe} = {to_text(expr)}")
+        return "\n".join(lines)
+
+
+def concrete_most_liberal(
+    spec: FunctionalSpec,
+    input_valuation: Mapping[str, bool],
+    max_iterations: Optional[int] = None,
+) -> Dict[str, bool]:
+    """The most liberal moe vector for one concrete input valuation.
+
+    Starts with every flag true and repeatedly applies equation (4); the
+    result is the unique assignment with the fewest stalls that still
+    satisfies the functional specification under the given inputs.
+    """
+    moe_flags = spec.moe_flags()
+    limit = max_iterations if max_iterations is not None else len(moe_flags) + 2
+    assignment: Dict[str, bool] = dict(input_valuation)
+    for moe in moe_flags:
+        assignment[moe] = True
+    for _ in range(limit):
+        changed = False
+        for clause in spec.clauses:
+            new_value = not eval_expr(clause.condition, assignment)
+            if assignment[clause.moe] and not new_value:
+                assignment[clause.moe] = False
+                changed = True
+            elif not assignment[clause.moe] and new_value:
+                # A monotone specification can only lower flags during the
+                # descent from all-true; a raise means F is not monotone.
+                raise DerivationError(
+                    f"stall condition for {clause.moe} is not monotone in the negated "
+                    "moe flags; the Section 3.1 preconditions are violated"
+                )
+        if not changed:
+            return {moe: assignment[moe] for moe in moe_flags}
+    raise DerivationError(
+        f"fixed-point iteration did not converge within {limit} iterations"
+    )
+
+
+def symbolic_most_liberal(
+    spec: FunctionalSpec,
+    max_iterations: Optional[int] = None,
+    simplify_result: bool = True,
+) -> DerivationResult:
+    """Closed-form most liberal moe assignment over the primary inputs.
+
+    The iteration keeps, for every stage, an expression of the current
+    candidate ``MOE_i`` in terms of primary inputs only; each step
+    substitutes the candidates into the stall conditions and negates.
+    Convergence is detected semantically with BDD equivalence so that
+    syntactic noise from substitution cannot mask a fixed point.
+    """
+    moe_flags = spec.moe_flags()
+    limit = max_iterations if max_iterations is not None else len(moe_flags) + 2
+    context = ExprBddContext()
+    current: Dict[str, Expr] = {moe: TRUE for moe in moe_flags}
+    current_nodes: Dict[str, int] = {moe: context.compile(TRUE) for moe in moe_flags}
+
+    iterations = 0
+    for _ in range(limit):
+        iterations += 1
+        changed = False
+        next_exprs: Dict[str, Expr] = {}
+        next_nodes: Dict[str, int] = {}
+        for clause in spec.clauses:
+            substituted = substitute(clause.condition, current)
+            candidate = simplify(Not(substituted)) if simplify_result else Not(substituted)
+            node = context.compile(candidate)
+            next_exprs[clause.moe] = candidate
+            next_nodes[clause.moe] = node
+            if node != current_nodes[clause.moe]:
+                changed = True
+        current = next_exprs
+        current_nodes = next_nodes
+        if not changed:
+            break
+    else:
+        raise DerivationError(
+            f"symbolic fixed-point iteration did not converge within {limit} iterations"
+        )
+
+    # Confirm the fixed point really only mentions primary inputs.
+    input_set = set(spec.input_signals())
+    for moe, expr in current.items():
+        leftover = expr.variables() - input_set
+        if leftover:
+            raise DerivationError(
+                f"closed form for {moe} still refers to {sorted(leftover)}; "
+                "the specification's moe dependency structure is malformed"
+            )
+
+    bdd_sizes = {
+        moe: context.manager.dag_size(node) for moe, node in current_nodes.items()
+    }
+    return DerivationResult(
+        spec=spec,
+        moe_expressions=current,
+        iterations=iterations,
+        feed_forward=spec.is_feed_forward(),
+        bdd_sizes=bdd_sizes,
+    )
+
+
+def derive_performance_spec(
+    spec: FunctionalSpec, check_preconditions: bool = True
+) -> PerformanceSpec:
+    """Derive the maximum performance specification from a functional spec.
+
+    This is the operation the paper performs manually in Section 2.2.2 and
+    justifies in Section 3: because the functional specification satisfies
+    properties (1) and (2), the optimal implementation is ``¬moe_i ↔ F_i``,
+    so the performance half is obtained by flipping every implication.
+
+    When ``check_preconditions`` is true the Section 3.1 properties are
+    verified first (see :mod:`repro.spec.properties`) and a
+    :class:`~repro.spec.functional.SpecificationError` is raised if they fail
+    — deriving a "maximum performance" spec from a non-monotone functional
+    spec would be unsound.
+    """
+    if check_preconditions:
+        from .properties import check_all_properties
+
+        report = check_all_properties(spec)
+        if not report.all_hold():
+            raise SpecificationError(
+                "functional specification violates the Section 3.1 preconditions:\n"
+                + report.describe()
+            )
+    return PerformanceSpec(spec)
+
+
+def derive_combined_spec(
+    spec: FunctionalSpec, check_preconditions: bool = True
+) -> CombinedSpec:
+    """Derive the combined (functional + performance) specification."""
+    if check_preconditions:
+        from .properties import check_all_properties
+
+        report = check_all_properties(spec)
+        if not report.all_hold():
+            raise SpecificationError(
+                "functional specification violates the Section 3.1 preconditions:\n"
+                + report.describe()
+            )
+    return CombinedSpec(spec)
+
+
+def most_liberal_is_maximal(
+    spec: FunctionalSpec, derivation: Optional[DerivationResult] = None
+) -> bool:
+    """Verify the Section 3.2 subsumption theorem for a specification.
+
+    Checks, with BDDs, that every assignment satisfying the functional
+    specification is pointwise below the derived ``MOE``::
+
+        SPEC_func(moe, inputs)  →  (moe_i → MOE_i(inputs))     for every i
+
+    This is the machine-checked version of the paper's inductive proof.
+    """
+    derivation = derivation or symbolic_most_liberal(spec)
+    context = ExprBddContext()
+    functional = spec.functional_formula()
+    for moe in spec.moe_flags():
+        claim = functional.implies(Var(moe).implies(derivation.moe_expressions[moe]))
+        if not context.is_valid(claim):
+            return False
+    return True
+
+
+def unnecessary_stall_condition(
+    spec: FunctionalSpec, derivation: Optional[DerivationResult] = None
+) -> Dict[str, Expr]:
+    """Per-stage condition under which an observed stall is unnecessary.
+
+    For each stage this is ``MOE_i(inputs)`` itself: if the closed-form most
+    liberal assignment says the stage could move, any implementation that
+    stalls it has introduced a performance bug.  The stall classifier in
+    :mod:`repro.analysis.stalls` evaluates these expressions on simulation
+    traces.
+    """
+    derivation = derivation or symbolic_most_liberal(spec)
+    return dict(derivation.moe_expressions)

@@ -1,0 +1,219 @@
+"""Logic optimisation of the derived interlock equations before synthesis.
+
+The closed forms produced by :func:`repro.spec.derivation.symbolic_most_liberal`
+are built by substitution, so the same sub-conditions (scoreboard hazards,
+downstream stall chains) appear repeatedly and some disjuncts subsume
+others.  This pass cleans the equations up per moe flag:
+
+* exact two-level minimisation (:mod:`repro.expr.minimize`) whenever the
+  flag's support is small enough to enumerate,
+* otherwise disjunct-level clean-up: each top-level disjunct is minimised
+  on its own (their supports are tiny), duplicates are removed, and
+  disjuncts that are implied by another disjunct are absorbed.
+
+Optionally a *care set* — typically the conjunction of the architecture's
+environment assumptions from :mod:`repro.checking.environment` — marks
+input combinations that can never occur, letting the minimiser treat them
+as don't-cares.
+
+The optimised equations remain logically equivalent to the originals on
+the care set; :func:`optimize_derivation` verifies this with BDDs before
+returning, so the pass cannot silently change behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bdd.expr_to_bdd import ExprBddContext
+from ..expr.ast import And, Expr, Iff, Implies, Not, Or
+from ..expr.builders import big_or
+from ..expr.minimize import (
+    DEFAULT_MAX_VARIABLES,
+    literal_count,
+    minimize_with_care_set,
+)
+from ..expr.transform import simplify
+from ..spec.derivation import DerivationResult
+from ..spec.functional import FunctionalSpec
+
+__all__ = ["OptimizationError", "FlagOptimization", "OptimizationReport", "optimize_derivation"]
+
+
+class OptimizationError(RuntimeError):
+    """Raised when an optimised equation is not equivalent to the original."""
+
+
+@dataclass
+class FlagOptimization:
+    """Before/after cost record for one moe flag."""
+
+    moe: str
+    original: Expr
+    optimized: Expr
+    method: str
+
+    @property
+    def literals_before(self) -> int:
+        """Literal count of the original closed form."""
+        return literal_count(self.original)
+
+    @property
+    def literals_after(self) -> int:
+        """Literal count of the optimised closed form."""
+        return literal_count(self.optimized)
+
+    @property
+    def reduction(self) -> float:
+        """Fractional literal-count reduction (0.0 when nothing was saved)."""
+        before = self.literals_before
+        if before == 0:
+            return 0.0
+        return 1.0 - self.literals_after / before
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for report tables."""
+        return {
+            "moe flag": self.moe,
+            "method": self.method,
+            "literals before": self.literals_before,
+            "literals after": self.literals_after,
+            "reduction": f"{100.0 * self.reduction:.1f}%",
+        }
+
+
+@dataclass
+class OptimizationReport:
+    """Whole-interlock optimisation outcome."""
+
+    derivation: DerivationResult
+    flags: List[FlagOptimization] = field(default_factory=list)
+
+    def total_literals_before(self) -> int:
+        """Summed literal count before optimisation."""
+        return sum(flag.literals_before for flag in self.flags)
+
+    def total_literals_after(self) -> int:
+        """Summed literal count after optimisation."""
+        return sum(flag.literals_after for flag in self.flags)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-flag rows for report tables."""
+        return [flag.as_row() for flag in self.flags]
+
+
+def _dedup_and_absorb(disjuncts: List[Expr], context: ExprBddContext) -> List[Expr]:
+    """Remove duplicate disjuncts and disjuncts implied by another disjunct."""
+    unique: List[Expr] = []
+    for disjunct in disjuncts:
+        if disjunct not in unique:
+            unique.append(disjunct)
+    kept: List[Expr] = []
+    for index, disjunct in enumerate(unique):
+        absorbed = False
+        for other_index, other in enumerate(unique):
+            if index == other_index:
+                continue
+            # ``disjunct -> other`` means ``other`` already covers it; prefer
+            # keeping the earlier (or the other) term to break mutual-implication
+            # ties deterministically.
+            if context.is_valid(Implies(disjunct, other)) and (
+                not context.is_valid(Implies(other, disjunct)) or other_index < index
+            ):
+                absorbed = True
+                break
+        if not absorbed:
+            kept.append(disjunct)
+    return kept
+
+
+def _optimize_expression(
+    expr: Expr,
+    care: Optional[Expr],
+    max_vars: int,
+    context: ExprBddContext,
+) -> tuple:
+    """Optimise one equation; returns (expression, method-label)."""
+    support = expr.variables() | (care.variables() if care is not None else frozenset())
+    if len(support) <= max_vars:
+        result = minimize_with_care_set(expr, care=care, max_vars=max_vars)
+        return result.expression, "exact two-level"
+
+    simplified = simplify(expr)
+    if isinstance(simplified, Or):
+        disjuncts: List[Expr] = []
+        for disjunct in simplified.operands:
+            if len(disjunct.variables()) <= max_vars:
+                disjuncts.append(minimize_with_care_set(disjunct, max_vars=max_vars).expression)
+            else:
+                disjuncts.append(disjunct)
+        disjuncts = _dedup_and_absorb(disjuncts, context)
+        return simplify(big_or(disjuncts)), "per-disjunct + absorption"
+    if isinstance(simplified, Not) and isinstance(simplified.operand, Or):
+        # Closed-form moe flags are usually ¬(stall-condition); optimise the
+        # stall condition underneath the negation instead.
+        inner, method = _optimize_expression(simplified.operand, care, max_vars, context)
+        return simplify(Not(inner)), method
+    if isinstance(simplified, Not) and isinstance(simplified.operand, And):
+        inner, method = _optimize_expression(simplified.operand, care, max_vars, context)
+        return simplify(Not(inner)), method
+    if isinstance(simplified, And):
+        conjuncts: List[Expr] = []
+        for conjunct in simplified.operands:
+            optimized, _ = _optimize_expression(conjunct, care, max_vars, context)
+            conjuncts.append(optimized)
+        return simplify(And(*conjuncts)), "per-conjunct"
+    return simplified, "structural"
+
+
+def optimize_derivation(
+    spec: FunctionalSpec,
+    derivation: DerivationResult,
+    care: Optional[Expr] = None,
+    max_vars: int = DEFAULT_MAX_VARIABLES,
+    verify: bool = True,
+) -> OptimizationReport:
+    """Optimise every derived moe equation, preserving equivalence on the care set.
+
+    Args:
+        spec: the functional specification the derivation belongs to.
+        derivation: the fixed-point derivation to optimise.
+        care: optional care-set expression (input combinations outside it are
+            treated as don't-cares, e.g. the environment assumptions).
+        max_vars: enumeration limit for exact minimisation.
+        verify: prove equivalence of each optimised equation (on the care
+            set) before accepting it; disable only in benchmarks that time
+            the optimisation step in isolation.
+
+    Returns:
+        An :class:`OptimizationReport` whose ``derivation`` carries the
+        optimised expressions (original derivation is left untouched).
+    """
+    context = ExprBddContext()
+    optimized_expressions: Dict[str, Expr] = {}
+    report = OptimizationReport(
+        derivation=DerivationResult(
+            spec=spec,
+            moe_expressions=optimized_expressions,
+            iterations=derivation.iterations,
+            feed_forward=derivation.feed_forward,
+            bdd_sizes=dict(derivation.bdd_sizes),
+        )
+    )
+
+    for moe, expression in derivation.moe_expressions.items():
+        optimized, method = _optimize_expression(expression, care, max_vars, context)
+        if verify:
+            claim: Expr = Iff(expression, optimized)
+            if care is not None:
+                claim = Implies(care, claim)
+            if not context.is_valid(claim):
+                raise OptimizationError(
+                    f"optimised equation for {moe} is not equivalent to the original"
+                )
+        optimized_expressions[moe] = optimized
+        report.flags.append(
+            FlagOptimization(moe=moe, original=expression, optimized=optimized, method=method)
+        )
+    return report

@@ -1,0 +1,189 @@
+"""Tests for assertion generation, runtime monitoring and SVA/PSL emission."""
+
+import pytest
+
+from repro.assertions import (
+    AssertionKind,
+    AssertionMonitor,
+    VerificationSummary,
+    assertions_by_kind,
+    combined_assertions,
+    format_table,
+    functional_assertions,
+    monitor_trace,
+    performance_assertions,
+    psl_vunit,
+    sva_bind_directive,
+    sva_module,
+    testbench_assertions,
+    violations_by_stage,
+)
+from repro.faults import FaultInjector
+from repro.pipeline import Program, alu, reference_interlock, simulate
+from repro.spec import CombinedSpec, PerformanceSpec
+from repro.workloads import WorkloadGenerator, BALANCED, completion_contention_program
+
+
+class TestAssertionGeneration:
+    def test_one_functional_assertion_per_stage(self, example_spec):
+        assertions = functional_assertions(example_spec)
+        assert len(assertions) == len(example_spec.moe_flags())
+        assert all(a.kind is AssertionKind.FUNCTIONAL for a in assertions)
+        assert {a.moe for a in assertions} == set(example_spec.moe_flags())
+
+    def test_one_performance_assertion_per_stage(self, example_spec):
+        assertions = performance_assertions(PerformanceSpec(example_spec))
+        assert len(assertions) == len(example_spec.moe_flags())
+        assert all(a.kind is AssertionKind.PERFORMANCE for a in assertions)
+
+    def test_combined_assertions(self, example_spec):
+        assertions = combined_assertions(CombinedSpec(example_spec))
+        assert all(a.kind is AssertionKind.COMBINED for a in assertions)
+
+    def test_testbench_assertions_both_halves(self, example_spec):
+        assertions = testbench_assertions(example_spec)
+        grouped = assertions_by_kind(assertions)
+        assert len(grouped[AssertionKind.FUNCTIONAL]) == len(example_spec.moe_flags())
+        assert len(grouped[AssertionKind.PERFORMANCE]) == len(example_spec.moe_flags())
+        only_perf = testbench_assertions(example_spec, include_functional=False)
+        assert all(a.kind is AssertionKind.PERFORMANCE for a in only_perf)
+
+    def test_assertion_names_unique(self, example_spec):
+        names = [a.name for a in testbench_assertions(example_spec)]
+        assert len(names) == len(set(names))
+
+    def test_assertion_holds_evaluates_formula(self, example_spec):
+        assertion = functional_assertions(example_spec)[0]  # long completion
+        signals = {"long.req": True, "long.gnt": False, "long.4.moe": False}
+        assert assertion.holds(signals)
+        signals["long.4.moe"] = True
+        assert not assertion.holds(signals)
+
+    def test_describe_mentions_kind(self, example_spec):
+        assert "[functional]" in functional_assertions(example_spec)[0].describe()
+
+
+class TestAssertionMonitor:
+    def test_monitor_requires_assertions(self):
+        with pytest.raises(ValueError):
+            AssertionMonitor([])
+
+    def test_clean_trace_reports_clean(self, example_arch, example_spec):
+        program = WorkloadGenerator(example_arch, seed=0).generate(BALANCED)
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        report = monitor_trace(trace, testbench_assertions(example_spec))
+        assert report.clean()
+        assert report.cycles_checked == trace.num_cycles()
+        assert report.violation_count() == 0
+        assert report.first_violation() is None
+        assert "violations:          0" in report.describe()
+
+    def test_performance_fault_fires_performance_assertions_only(
+        self, example_arch, example_spec
+    ):
+        fault = FaultInjector(example_spec).extra_stall_fault("long.4.moe")
+        program = completion_contention_program(example_arch, length=20)
+        trace = simulate(example_arch, fault.interlock, program)
+        report = monitor_trace(trace, testbench_assertions(example_spec))
+        assert report.violation_count(AssertionKind.PERFORMANCE) > 0
+        assert report.violation_count(AssertionKind.FUNCTIONAL) == 0
+        assert "perf_long_4_moe" in report.violated_assertions(AssertionKind.PERFORMANCE)
+        first = report.first_violation(AssertionKind.PERFORMANCE)
+        assert first is not None and first.assertion.moe == "long.4.moe"
+
+    def test_functional_fault_fires_functional_assertions(self, example_arch, example_spec):
+        fault = FaultInjector(example_spec).never_stall_fault("long.4.moe")
+        program = completion_contention_program(example_arch, length=20)
+        trace = simulate(example_arch, fault.interlock, program)
+        report = monitor_trace(trace, testbench_assertions(example_spec))
+        assert report.violation_count(AssertionKind.FUNCTIONAL) > 0
+        summary = VerificationSummary(trace=trace, monitor=report)
+        assert summary.verdict() == "functional-bug"
+        assert summary.hazards > 0
+
+    def test_summary_verdicts(self, example_arch, example_spec):
+        program = WorkloadGenerator(example_arch, seed=1).generate(BALANCED)
+        clean_trace = simulate(example_arch, reference_interlock(example_spec), program)
+        clean = VerificationSummary(
+            trace=clean_trace, monitor=monitor_trace(clean_trace, testbench_assertions(example_spec))
+        )
+        assert clean.verdict() == "clean"
+        fault = FaultInjector(example_spec).extra_stall_fault("short.2.moe")
+        perf_trace = simulate(example_arch, fault.interlock, program)
+        perf = VerificationSummary(
+            trace=perf_trace, monitor=monitor_trace(perf_trace, testbench_assertions(example_spec))
+        )
+        assert perf.verdict() == "performance-bug"
+        assert "verdict" in perf.describe()
+
+    def test_monitor_rejects_traces_missing_signals(self, example_spec):
+        from repro.pipeline.trace import CycleRecord, SimulationTrace
+
+        record = CycleRecord(cycle=0, inputs={}, moe={}, occupancy={})
+        trace = SimulationTrace(architecture_name="x", interlock_name="y", cycles=[record])
+        with pytest.raises(KeyError):
+            monitor_trace(trace, testbench_assertions(example_spec))
+
+    def test_violations_by_stage_grouping(self, example_arch, example_spec):
+        fault = FaultInjector(example_spec).extra_stall_fault("long.4.moe")
+        program = completion_contention_program(example_arch, length=20)
+        trace = simulate(example_arch, fault.interlock, program)
+        report = monitor_trace(trace, testbench_assertions(example_spec))
+        by_stage = violations_by_stage(report)
+        assert by_stage, "expected at least one violating stage"
+        assert max(by_stage, key=by_stage.get).startswith("long")
+
+
+class TestHdlEmission:
+    def test_sva_module_structure(self, example_spec):
+        assertions = testbench_assertions(example_spec)
+        text = sva_module(assertions, module_name="checker")
+        assert text.count("assert property") == len(assertions)
+        assert "module checker (" in text and text.rstrip().endswith("endmodule")
+        assert "input logic clk" in text and "rst_n" in text
+        # Sanitised signal names appear as ports.
+        assert "input logic long_4_moe" in text
+        assert "scb_0_" in text
+
+    def test_sva_module_without_reset(self, example_spec):
+        text = sva_module(functional_assertions(example_spec), reset=None)
+        assert "disable iff" not in text
+
+    def test_sva_requires_assertions(self):
+        with pytest.raises(ValueError):
+            sva_module([])
+
+    def test_bind_directive(self, example_spec):
+        assertions = functional_assertions(example_spec)
+        directive = sva_bind_directive(
+            "pipeline_top", assertions=assertions, signal_prefix="u_ctl."
+        )
+        assert directive.startswith("bind pipeline_top pipeline_spec_checker")
+        assert ".long_4_moe(u_ctl.long_4_moe)" in directive
+
+    def test_psl_vunit_structure(self, example_spec):
+        assertions = testbench_assertions(example_spec)
+        text = psl_vunit(assertions, unit_name="spec", bound_entity="ctl")
+        assert text.startswith("-- Generated")
+        assert "vunit spec (ctl)" in text
+        assert text.count("assert p_") == len(assertions)
+        with pytest.raises(ValueError):
+            psl_vunit([])
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 200, "b": "z"}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "200" in lines[3]
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]

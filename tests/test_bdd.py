@@ -1,0 +1,224 @@
+"""Tests for the ROBDD manager, the expression compiler and the ordering helpers."""
+
+import pytest
+
+from repro.bdd import (
+    BddManager,
+    ExprBddContext,
+    compile_expr,
+    interleaved_order,
+    occurrence_order,
+    order_from_exprs,
+    stage_major_order,
+)
+from repro.expr import And, Iff, Implies, Not, Or, Var, all_assignments, eval_expr, vars_
+
+
+class TestManagerBasics:
+    def test_terminals(self):
+        manager = BddManager()
+        assert manager.is_true(manager.true())
+        assert manager.is_false(manager.false())
+        assert manager.true() != manager.false()
+
+    def test_variable_nodes_are_canonical(self):
+        manager = BddManager()
+        assert manager.var("x") == manager.var("x")
+        assert manager.var("x") != manager.var("y")
+
+    def test_declare_is_idempotent(self):
+        manager = BddManager()
+        level = manager.declare("x")
+        assert manager.declare("x") == level
+        assert manager.level_of("x") == level
+        assert manager.var_at_level(level) == "x"
+
+    def test_explicit_order_respected(self):
+        manager = BddManager(variable_order=["b", "a"])
+        assert manager.variable_order() == ["b", "a"]
+        assert manager.level_of("b") < manager.level_of("a")
+
+    def test_negation_is_involution(self):
+        manager = BddManager()
+        x = manager.var("x")
+        assert manager.not_(manager.not_(x)) == x
+
+    def test_and_or_reduce_to_terminals(self):
+        manager = BddManager()
+        x = manager.var("x")
+        assert manager.and_(x, manager.false()) == manager.false()
+        assert manager.and_(x, manager.true()) == x
+        assert manager.or_(x, manager.true()) == manager.true()
+        assert manager.or_(x, manager.false()) == x
+        assert manager.and_(x, manager.not_(x)) == manager.false()
+        assert manager.or_(x, manager.not_(x)) == manager.true()
+
+    def test_equivalence_is_canonical(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        demorgan_left = manager.not_(manager.and_(x, y))
+        demorgan_right = manager.or_(manager.not_(x), manager.not_(y))
+        assert manager.equivalent(demorgan_left, demorgan_right)
+
+    def test_xor_iff_implies(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        assert manager.equivalent(manager.not_(manager.xor(x, y)), manager.iff(x, y))
+        assert manager.equivalent(
+            manager.implies(x, y), manager.or_(manager.not_(x), y)
+        )
+
+    def test_and_all_or_all(self):
+        manager = BddManager()
+        nodes = [manager.var(name) for name in "abc"]
+        conjunction = manager.and_all(nodes)
+        disjunction = manager.or_all(nodes)
+        assert manager.evaluate(conjunction, {"a": True, "b": True, "c": True})
+        assert not manager.evaluate(conjunction, {"a": True, "b": False, "c": True})
+        assert manager.evaluate(disjunction, {"a": False, "b": False, "c": True})
+        assert not manager.evaluate(disjunction, {"a": False, "b": False, "c": False})
+
+
+class TestManagerOperations:
+    def test_restrict(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.and_(x, y)
+        assert manager.restrict(f, "x", True) == y
+        assert manager.restrict(f, "x", False) == manager.false()
+
+    def test_compose(self):
+        manager = BddManager()
+        x, y, z = manager.var("x"), manager.var("y"), manager.var("z")
+        f = manager.or_(x, y)
+        composed = manager.compose(f, "x", manager.and_(y, z))
+        expected = manager.or_(manager.and_(y, z), y)
+        assert composed == expected
+
+    def test_compose_many_is_simultaneous(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.and_(x, manager.not_(y))
+        swapped = manager.compose_many(f, {"x": y, "y": x})
+        expected = manager.and_(y, manager.not_(x))
+        assert swapped == expected
+
+    def test_exists_forall(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.and_(x, y)
+        assert manager.exists(f, ["x"]) == y
+        assert manager.forall(f, ["x"]) == manager.false()
+        g = manager.or_(x, y)
+        assert manager.exists(g, ["x"]) == manager.true()
+        assert manager.forall(g, ["x"]) == y
+
+    def test_evaluate_requires_assignment(self):
+        manager = BddManager()
+        f = manager.and_(manager.var("x"), manager.var("y"))
+        with pytest.raises(KeyError):
+            manager.evaluate(f, {"x": True})
+
+    def test_support(self):
+        manager = BddManager()
+        x, y, z = manager.var("x"), manager.var("y"), manager.var("z")
+        f = manager.ite(x, y, y)  # z unused, y only
+        assert manager.support(f) == frozenset({"y"})
+        assert manager.support(manager.and_(x, z)) == frozenset({"x", "z"})
+        assert manager.support(manager.true()) == frozenset()
+
+    def test_sat_count(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        assert manager.sat_count(manager.and_(x, y)) == 1
+        assert manager.sat_count(manager.or_(x, y)) == 3
+        assert manager.sat_count(manager.true(), over=["x", "y"]) == 4
+        assert manager.sat_count(manager.false(), over=["x", "y"]) == 0
+        assert manager.sat_count(x, over=["x", "y"]) == 2
+
+    def test_sat_count_requires_support_subset(self):
+        manager = BddManager()
+        f = manager.and_(manager.var("x"), manager.var("y"))
+        with pytest.raises(ValueError):
+            manager.sat_count(f, over=["x"])
+
+    def test_pick_one(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.and_(x, manager.not_(y))
+        model = manager.pick_one(f)
+        assert model == {"x": True, "y": False}
+        assert manager.pick_one(manager.false()) is None
+
+    def test_all_sat(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.or_(x, y)
+        models = list(manager.all_sat(f, over=["x", "y"]))
+        assert len(models) == 3
+        assert {"x": False, "y": False} not in models
+
+    def test_dag_size(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        assert manager.dag_size(manager.true()) == 0
+        assert manager.dag_size(x) == 1
+        assert manager.dag_size(manager.and_(x, y)) == 2
+
+
+class TestExprCompiler:
+    def test_compile_matches_evaluation(self):
+        a, b, c = vars_("a", "b", "c")
+        expr = Iff(Implies(a, b), Or(Not(c), And(a, b)))
+        manager = BddManager()
+        node = compile_expr(manager, expr)
+        for assignment in all_assignments(["a", "b", "c"]):
+            assert manager.evaluate(node, assignment) == eval_expr(expr, assignment)
+
+    def test_context_validity_and_satisfiability(self):
+        a, b = vars_("a", "b")
+        context = ExprBddContext()
+        assert context.is_valid(Or(a, Not(a)))
+        assert not context.is_valid(a)
+        assert context.is_satisfiable(And(a, b))
+        assert not context.is_satisfiable(And(a, Not(a)))
+
+    def test_context_equivalence(self):
+        a, b, c = vars_("a", "b", "c")
+        context = ExprBddContext()
+        assert context.are_equivalent(And(a, Or(b, c)), Or(And(a, b), And(a, c)))
+        assert not context.are_equivalent(a, b)
+
+    def test_counterexample_and_witness(self):
+        a, b = vars_("a", "b")
+        context = ExprBddContext()
+        counterexample = context.counterexample(Implies(a, b))
+        assert counterexample is not None
+        assert counterexample["a"] is True and counterexample["b"] is False
+        assert context.counterexample(Or(a, Not(a))) is None
+        witness = context.witness(And(a, Not(b)))
+        assert witness == {"a": True, "b": False}
+        assert context.witness(And(a, Not(a))) is None
+
+
+class TestOrdering:
+    def test_order_from_exprs_is_sorted(self):
+        a, b, z = vars_("a", "b", "z")
+        assert order_from_exprs([z & a, b]) == ["a", "b", "z"]
+
+    def test_occurrence_order_keeps_first_appearance(self):
+        a, b, c = vars_("a", "b", "c")
+        assert occurrence_order([c & a, b | a]) == ["c", "a", "b"]
+
+    def test_interleaved_order(self):
+        assert interleaved_order([["a1", "a2"], ["b1", "b2", "b3"]]) == [
+            "a1",
+            "b1",
+            "a2",
+            "b2",
+            "b3",
+        ]
+
+    def test_stage_major_order_deduplicates(self):
+        order = stage_major_order([["x", "y"], ["y", "z"]])
+        assert order == ["x", "y", "z"]

@@ -1,0 +1,159 @@
+"""Tests for bounded model checking of sequential interlock behaviour (repro.checking.bmc)."""
+
+import pytest
+
+from repro.checking import (
+    BoundedModelChecker,
+    CombinationalModel,
+    RegisteredGrantModel,
+    StuckResetModel,
+    environment_formula,
+    timed_name,
+)
+from repro.expr import Var
+from repro.pipeline import ClosedFormInterlock
+from repro.spec import FunctionalSpec, StallClause, symbolic_most_liberal
+from repro.expr import parse_expr
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    """A two-stage pipe: completion stage on a bus grant, issue stage behind it."""
+    return FunctionalSpec(
+        name="tiny",
+        clauses=[
+            StallClause(moe="p.2.moe", condition=parse_expr("p.req & !p.gnt")),
+            StallClause(moe="p.1.moe", condition=parse_expr("p.1.rtm & !p.2.moe")),
+        ],
+        inputs=["p.req", "p.gnt", "p.1.rtm"],
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_model(tiny_spec):
+    derivation = symbolic_most_liberal(tiny_spec)
+    return CombinationalModel(derivation.moe_expressions, name="tiny-derived")
+
+
+class TestTimedNaming:
+    def test_timed_name_format(self):
+        assert timed_name("p.1.moe", 3) == "p.1.moe@3"
+
+    def test_outputs_at_use_timed_inputs(self, tiny_model):
+        outputs = tiny_model.outputs_at(2)
+        for expression in outputs.values():
+            assert all(name.endswith("@2") for name in expression.variables())
+
+
+class TestCombinationalModel:
+    def test_derived_interlock_passes_both_checks(self, tiny_spec, tiny_model):
+        checker = BoundedModelChecker(tiny_spec)
+        assert checker.check_functional(tiny_model, bound=4).holds
+        assert checker.check_performance(tiny_model, bound=4).holds
+
+    def test_example_architecture_derived_interlock_passes(self, example_spec):
+        derivation = symbolic_most_liberal(example_spec)
+        model = CombinationalModel(derivation.moe_expressions, name="example-derived")
+        checker = BoundedModelChecker(example_spec)
+        assert checker.check_functional(model, bound=2).holds
+        assert checker.check_performance(model, bound=2).holds
+
+    def test_claims_counted(self, tiny_spec, tiny_model):
+        checker = BoundedModelChecker(tiny_spec)
+        result = checker.check_functional(tiny_model, bound=3)
+        assert result.claims_checked == 3 * len(tiny_spec.moe_flags())
+
+    def test_never_stalling_model_fails_functionally(self, tiny_spec):
+        model = CombinationalModel(
+            {"p.2.moe": parse_expr("True"), "p.1.moe": parse_expr("True")},
+            name="never-stalls",
+        )
+        checker = BoundedModelChecker(tiny_spec)
+        result = checker.check_functional(model, bound=2)
+        assert not result.holds
+        violation = result.first_violation()
+        assert violation.cycle == 0
+        assert violation.kind == "functional"
+
+
+class TestStuckResetModel:
+    def test_forced_low_reset_is_a_performance_bug(self, tiny_spec, tiny_model):
+        model = StuckResetModel(tiny_model, forced_values={"p.2.moe": False}, cycles=2)
+        checker = BoundedModelChecker(tiny_spec, stop_at_first=False)
+        result = checker.check_performance(model, bound=4)
+        assert not result.holds
+        cycles = {violation.cycle for violation in result.violations}
+        # Violations occur only while the reset value is forced, at the forced stage.
+        assert cycles and cycles <= {0, 1}
+        assert {violation.moe for violation in result.violations} == {"p.2.moe"}
+        # The upstream stage's closed form still assumes the derived value of
+        # p.2.moe, so during the forced window it can move into a stage that
+        # is not accepting — a genuine functional hazard, also bounded by the
+        # reset window (exactly what the paper's "incorrect initialisation
+        # values" bugs look like).
+        functional = checker.check_functional(model, bound=4)
+        assert all(violation.cycle < 2 for violation in functional.violations)
+
+    def test_forced_high_reset_is_a_functional_bug(self, tiny_spec, tiny_model):
+        model = StuckResetModel(tiny_model, forced_values={"p.2.moe": True}, cycles=1)
+        checker = BoundedModelChecker(tiny_spec)
+        result = checker.check_functional(model, bound=3)
+        assert not result.holds
+        assert result.first_violation().cycle == 0
+
+    def test_violation_witness_is_cycle_stamped(self, tiny_spec, tiny_model):
+        model = StuckResetModel(tiny_model, forced_values={"p.2.moe": False}, cycles=1)
+        checker = BoundedModelChecker(tiny_spec)
+        result = checker.check_performance(model, bound=2)
+        violation = result.first_violation()
+        assert violation is not None
+        witness = violation.witness_at(violation.cycle)
+        # The witness names plain (untimed) signals of the failing cycle.
+        assert all("@" not in name for name in witness)
+
+    def test_clean_after_reset_window(self, tiny_spec, tiny_model):
+        model = StuckResetModel(tiny_model, forced_values={"p.2.moe": False}, cycles=2)
+        checker = BoundedModelChecker(tiny_spec, stop_at_first=False)
+        result = checker.check_performance(model, bound=5)
+        assert all(violation.cycle < 2 for violation in result.violations)
+
+
+class TestRegisteredGrantModel:
+    def test_registered_grant_is_conservative(self, example_arch, example_spec):
+        derivation = symbolic_most_liberal(example_spec)
+        base = CombinationalModel(derivation.moe_expressions, name="example-derived")
+        model = RegisteredGrantModel(base, example_arch)
+        checker = BoundedModelChecker(
+            example_spec, environment=environment_formula(example_arch), stop_at_first=False
+        )
+        # Functionally safe: it only ever stalls more.
+        assert checker.check_functional(model, bound=2).holds
+        # But it stalls a completion stage whose grant arrived with a
+        # same-cycle request — a performance bug from cycle 0 onwards.
+        result = checker.check_performance(model, bound=2)
+        assert not result.holds
+        completion_flags = {"long.4.moe", "short.2.moe"}
+        assert {violation.moe for violation in result.violations} & completion_flags
+
+    def test_cycle_zero_never_grants(self, example_arch, example_spec):
+        derivation = symbolic_most_liberal(example_spec)
+        base = CombinationalModel(derivation.moe_expressions)
+        model = RegisteredGrantModel(base, example_arch)
+        outputs = model.outputs_at(0)
+        # At cycle 0 no request can be pending from "the previous cycle", so
+        # the grant variable must not appear in any output expression.
+        for expression in outputs.values():
+            assert timed_name("long.gnt", 0) not in expression.variables()
+
+
+class TestReporting:
+    def test_describe_mentions_bound_and_kind(self, tiny_spec, tiny_model):
+        checker = BoundedModelChecker(tiny_spec)
+        text = checker.check_functional(tiny_model, bound=2).describe()
+        assert "functional" in text
+        assert "bound 2" in text
+
+    def test_unknown_kind_rejected(self, tiny_spec, tiny_model):
+        checker = BoundedModelChecker(tiny_spec)
+        with pytest.raises(ValueError):
+            checker.check(tiny_model, bound=1, kind="liveness")

@@ -1,0 +1,187 @@
+"""Tests for the Quine–McCluskey two-level minimiser (repro.expr.minimize)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import (
+    FALSE,
+    TRUE,
+    Var,
+    all_assignments,
+    eval_expr,
+    literal_count,
+    minimize_expr,
+    minimize_with_care_set,
+    parse_expr,
+    term_count,
+)
+from repro.expr.minimize import Implicant, minimum_cover, prime_implicants
+
+
+class TestImplicant:
+    def test_from_minterm_binds_every_variable(self):
+        implicant = Implicant.from_minterm(0b101, 3)
+        assert implicant.values == (True, False, True)
+        assert implicant.num_literals() == 3
+
+    def test_covers_its_own_minterm(self):
+        implicant = Implicant.from_minterm(0b011, 3)
+        assert implicant.covers(0b011)
+        assert not implicant.covers(0b010)
+
+    def test_combine_differing_in_one_position(self):
+        a = Implicant.from_minterm(0b00, 2)
+        b = Implicant.from_minterm(0b01, 2)
+        merged = a.combine(b)
+        assert merged is not None
+        assert merged.values == (False, None)
+        assert merged.covers(0b00) and merged.covers(0b01)
+
+    def test_combine_rejects_two_bit_difference(self):
+        a = Implicant.from_minterm(0b00, 2)
+        b = Implicant.from_minterm(0b11, 2)
+        assert a.combine(b) is None
+
+    def test_combine_rejects_mismatched_dont_cares(self):
+        a = Implicant(values=(None, True))
+        b = Implicant(values=(False, False))
+        assert a.combine(b) is None
+
+    def test_to_expr_of_empty_product_is_true(self):
+        assert Implicant(values=(None, None)).to_expr(["a", "b"]) == TRUE
+
+    def test_to_expr_literals(self):
+        expr = Implicant(values=(True, False)).to_expr(["a", "b"])
+        assert eval_expr(expr, {"a": True, "b": False})
+        assert not eval_expr(expr, {"a": True, "b": True})
+
+
+class TestPrimeImplicants:
+    def test_full_on_set_gives_single_prime(self):
+        primes = prime_implicants({0, 1, 2, 3}, 2)
+        assert len(primes) == 1
+        assert primes[0].values == (None, None)
+
+    def test_xor_has_no_merging(self):
+        primes = prime_implicants({0b01, 0b10}, 2)
+        assert len(primes) == 2
+        assert all(p.num_literals() == 2 for p in primes)
+
+    def test_empty_on_set(self):
+        assert prime_implicants(set(), 3) == []
+
+    def test_cover_selects_essential_primes(self):
+        # f = a'b + ab' + ab  ->  minimal cover is a + b (two primes).
+        minterms = {0b01, 0b10, 0b11}
+        primes = prime_implicants(minterms, 2)
+        cover = minimum_cover(primes, minterms)
+        assert len(cover) == 2
+        assert all(p.num_literals() == 1 for p in cover)
+
+
+class TestMinimizeExpr:
+    def test_classic_consensus(self):
+        minimized = minimize_expr(parse_expr("a & b | a & !b | !a & b"))
+        assert literal_count(minimized) == 2
+        assert term_count(minimized) == 2
+
+    def test_constant_false(self):
+        assert minimize_expr(parse_expr("a & !a")) == FALSE
+
+    def test_constant_true(self):
+        assert minimize_expr(parse_expr("a | !a")) == TRUE
+
+    def test_closed_formula_without_variables(self):
+        assert minimize_expr(TRUE) == TRUE
+        assert minimize_expr(FALSE) == FALSE
+
+    def test_single_variable_is_preserved(self):
+        assert minimize_expr(Var("x")) == Var("x")
+
+    def test_variable_limit_enforced(self):
+        wide = parse_expr(" | ".join(f"v{i}" for i in range(20)))
+        with pytest.raises(ValueError):
+            minimize_with_care_set(wide, max_vars=10)
+
+    def test_result_is_equivalent(self):
+        expr = parse_expr("(a -> b) & (b -> c) & (a | c)")
+        minimized = minimize_expr(expr)
+        for assignment in all_assignments(sorted(expr.variables())):
+            assert eval_expr(expr, assignment) == eval_expr(minimized, assignment)
+
+    def test_minimization_never_increases_literals(self):
+        expr = parse_expr("a & b & c | a & b & !c | a & !b & c | a & !b & !c")
+        minimized = minimize_expr(expr)
+        assert literal_count(minimized) <= literal_count(expr)
+        assert literal_count(minimized) == 1  # collapses to just `a`
+
+    def test_dont_cares_enable_further_reduction(self):
+        # With b constrained to be true by the care set, a & b reduces to a.
+        expr = parse_expr("a & b")
+        care = parse_expr("b")
+        result = minimize_with_care_set(expr, care=care)
+        assert result.expression == Var("a")
+        assert result.dont_care_count > 0
+
+    def test_care_set_everything_dont_care(self):
+        # An unsatisfiable care set leaves an empty on-set: anything goes,
+        # and the minimiser picks the cheapest cover (constant false).
+        result = minimize_with_care_set(parse_expr("a & b"), care=FALSE)
+        assert result.expression in (FALSE, TRUE)
+        assert result.minterm_count == 0
+
+    def test_result_metadata(self):
+        result = minimize_with_care_set(parse_expr("a | b"))
+        assert result.variables == ["a", "b"]
+        assert result.minterm_count == 3
+        assert result.literal_count() == 2
+
+
+class TestCostMetrics:
+    def test_literal_count_counts_occurrences(self):
+        assert literal_count(parse_expr("a & b | a & c")) == 4
+
+    def test_term_count_on_non_or(self):
+        assert term_count(parse_expr("a & b")) == 1
+        assert term_count(parse_expr("a | b | c")) == 3
+
+
+@st.composite
+def small_exprs(draw):
+    """Random expressions over three variables."""
+    names = ["p", "q", "r"]
+    depth = draw(st.integers(min_value=0, max_value=3))
+
+    def build(level):
+        if level == 0:
+            return Var(draw(st.sampled_from(names)))
+        choice = draw(st.integers(min_value=0, max_value=3))
+        if choice == 0:
+            return ~build(level - 1)
+        if choice == 1:
+            return build(level - 1) & build(level - 1)
+        if choice == 2:
+            return build(level - 1) | build(level - 1)
+        return Var(draw(st.sampled_from(names)))
+
+    return build(depth)
+
+
+class TestMinimizeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_exprs())
+    def test_minimized_expression_is_equivalent(self, expr):
+        minimized = minimize_expr(expr)
+        names = sorted(expr.variables() | minimized.variables())
+        for assignment in all_assignments(names or ["p"]):
+            assert eval_expr(expr, assignment) == eval_expr(minimized, assignment)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_exprs())
+    def test_minimization_is_idempotent(self, expr):
+        once = minimize_expr(expr)
+        twice = minimize_expr(once)
+        names = sorted(once.variables() | twice.variables())
+        for assignment in all_assignments(names or ["p"]):
+            assert eval_expr(once, assignment) == eval_expr(twice, assignment)
+        assert literal_count(twice) <= literal_count(once)

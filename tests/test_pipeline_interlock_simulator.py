@@ -1,0 +1,326 @@
+"""Tests for the interlock implementations and the cycle-accurate simulator."""
+
+import pytest
+
+from repro.pipeline import (
+    ClosedFormInterlock,
+    ConservativeCompletionInterlock,
+    HazardKind,
+    PipelineSimulator,
+    Program,
+    SimulatorConfig,
+    SpecFixedPointInterlock,
+    StuckResetInterlock,
+    alu,
+    bubble,
+    reference_interlock,
+    simulate,
+    store,
+    wait,
+)
+from repro.spec import build_functional_spec, symbolic_most_liberal
+from repro.workloads import (
+    BALANCED,
+    CONTENTION_HEAVY,
+    HAZARD_HEAVY,
+    WorkloadGenerator,
+    completion_contention_program,
+    dependent_chain,
+    independent_stream,
+    wait_stream,
+)
+
+
+class TestInterlockImplementations:
+    def test_closed_form_and_fixed_point_agree(self, example_spec, example_interlock):
+        import random
+
+        fixed_point = SpecFixedPointInterlock(example_spec)
+        rng = random.Random(1)
+        for _ in range(40):
+            inputs = {name: bool(rng.getrandbits(1)) for name in example_spec.input_signals()}
+            assert example_interlock.compute_moe(inputs) == fixed_point.compute_moe(inputs)
+
+    def test_moe_flags_listed(self, example_spec, example_interlock):
+        assert set(example_interlock.moe_flags()) == set(example_spec.moe_flags())
+        assert set(SpecFixedPointInterlock(example_spec).moe_flags()) == set(
+            example_spec.moe_flags()
+        )
+
+    def test_reference_interlock_factory(self, example_spec):
+        assert isinstance(reference_interlock(example_spec), ClosedFormInterlock)
+        assert isinstance(
+            reference_interlock(example_spec, symbolic=False), SpecFixedPointInterlock
+        )
+
+    def test_expression_access_and_mutation(self, example_interlock):
+        from repro.expr import FALSE
+
+        expression = example_interlock.expression_for("long.4.moe")
+        assert "long.gnt" in expression.variables()
+        mutated = example_interlock.with_replaced_flag("long.4.moe", FALSE)
+        assert mutated.compute_moe(
+            {name: False for name in mutated.expressions()["long.1.moe"].variables() | {"long.req", "long.gnt"}}
+        )["long.4.moe"] is False
+        with pytest.raises(KeyError):
+            example_interlock.with_replaced_flag("ghost.moe", FALSE)
+
+    def test_stuck_reset_interlock_window(self, example_spec, example_interlock):
+        stuck = StuckResetInterlock(example_interlock, {"long.1.moe": False}, cycles=2)
+        inputs = {name: False for name in example_spec.input_signals()}
+        stuck.on_cycle_start(0)
+        assert stuck.compute_moe(inputs)["long.1.moe"] is False
+        stuck.on_cycle_start(1)
+        assert stuck.compute_moe(inputs)["long.1.moe"] is False
+        stuck.on_cycle_start(2)
+        assert stuck.compute_moe(inputs)["long.1.moe"] is True
+        stuck.reset()
+        stuck.on_cycle_start(0)
+        assert stuck.compute_moe(inputs)["long.1.moe"] is False
+
+    def test_stuck_reset_requires_positive_window(self, example_interlock):
+        with pytest.raises(ValueError):
+            StuckResetInterlock(example_interlock, {"long.1.moe": False}, cycles=0)
+
+    def test_conservative_completion_is_hazard_free_but_slower(
+        self, example_arch, example_spec
+    ):
+        program = completion_contention_program(example_arch, length=30)
+        fast = simulate(example_arch, reference_interlock(example_spec), program)
+        slow = simulate(
+            example_arch,
+            ConservativeCompletionInterlock(example_spec, example_arch),
+            program,
+        )
+        assert slow.hazard_free()
+        assert slow.num_cycles() > fast.num_cycles()
+        assert slow.retired_instructions == fast.retired_instructions
+
+
+class TestSimulatorBasics:
+    def test_single_instruction_flows_through_long_pipe(self, example_arch, example_spec):
+        program = Program.from_streams(long=[alu("long", dst=0)], short=[])
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        assert trace.retired_instructions == 1
+        assert trace.hazard_free()
+        # Issue at cycle 0, then 3 more stages: writeback from stage 4.
+        assert trace.num_cycles() == 5
+
+    def test_single_instruction_short_pipe_is_faster(self, example_arch, example_spec):
+        long_prog = Program.from_streams(long=[alu("long", dst=0)], short=[])
+        short_prog = Program.from_streams(long=[], short=[alu("short", dst=0)])
+        interlock = reference_interlock(example_spec)
+        long_trace = simulate(example_arch, interlock, long_prog)
+        short_trace = simulate(example_arch, interlock, short_prog)
+        assert short_trace.num_cycles() < long_trace.num_cycles()
+
+    def test_store_retires_without_bus(self, example_arch, example_spec):
+        program = Program.from_streams(long=[store("long", src=1)], short=[])
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        assert trace.retired_instructions == 1
+        assert trace.hazard_free()
+
+    def test_bubbles_do_not_retire(self, example_arch, example_spec):
+        program = Program.from_streams(long=[bubble("long"), alu("long", dst=0)], short=[])
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        assert trace.retired_instructions == 1
+        assert trace.issued_instructions == 1
+
+    def test_wait_instruction_holds_issue(self, example_arch, example_spec):
+        with_wait = Program.from_streams(
+            long=[wait("long", 3), alu("long", dst=0)], short=[]
+        )
+        without_wait = Program.from_streams(long=[alu("long", dst=0)], short=[])
+        interlock = reference_interlock(example_spec)
+        slow = simulate(example_arch, interlock, with_wait)
+        fast = simulate(example_arch, interlock, without_wait)
+        assert slow.num_cycles() >= fast.num_cycles() + 3
+        assert slow.hazard_free()
+        assert slow.retired_instructions == 2  # the WAIT retires in place
+
+    def test_dependent_chain_stalls_but_stays_correct(self, example_arch, example_spec):
+        program = Program.from_streams(
+            long=dependent_chain("long", 10, num_registers=2), short=[]
+        )
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        assert trace.hazard_free()
+        assert trace.retired_instructions == 10
+        # Dependencies force stalls: visibly more than one cycle per instruction.
+        assert trace.num_cycles() > 12
+
+    def test_completion_contention_prefers_short_pipe(self, example_arch, example_spec):
+        program = completion_contention_program(example_arch, length=20)
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        assert trace.hazard_free()
+        assert trace.retired_instructions == 40
+        # With both pipes completing every cycle the long pipe loses arbitration
+        # sometimes, so its completion stage records stall cycles.
+        assert trace.stall_cycles("long.4.moe") > 0
+
+    def test_round_robin_arbiter_also_hazard_free(self, example_arch, example_spec):
+        program = completion_contention_program(example_arch, length=20)
+        config = SimulatorConfig(arbiter="round-robin")
+        trace = simulate(example_arch, reference_interlock(example_spec), program, config)
+        assert trace.hazard_free()
+        assert trace.retired_instructions == 40
+
+    def test_max_cycles_cap(self, example_arch, example_spec):
+        # An interlock that never lets anything issue deadlocks the machine;
+        # the cap keeps the run finite.
+        from repro.expr import FALSE
+
+        dead = ClosedFormInterlock.from_spec(example_spec).with_replaced_flag(
+            "long.1.moe", FALSE
+        ).with_replaced_flag("short.1.moe", FALSE)
+        program = Program.from_streams(long=[alu("long", dst=0)], short=[])
+        config = SimulatorConfig(max_cycles=50)
+        trace = simulate(example_arch, dead, program, config)
+        assert trace.num_cycles() == 50
+        assert trace.retired_instructions == 0
+
+    def test_missing_moe_flag_rejected(self, example_arch, example_spec):
+        incomplete = ClosedFormInterlock(
+            {"long.4.moe": ClosedFormInterlock.from_spec(example_spec).expression_for("long.4.moe")}
+        )
+        program = Program.from_streams(long=[alu("long", dst=0)], short=[])
+        with pytest.raises(RuntimeError):
+            simulate(example_arch, incomplete, program)
+
+    def test_stop_on_hazard(self, example_arch, example_spec):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(example_spec)
+        fault = injector.never_stall_fault("long.4.moe")
+        program = completion_contention_program(example_arch, length=20)
+        config = SimulatorConfig(stop_on_hazard=True)
+        trace = simulate(example_arch, fault.interlock, program, config)
+        assert trace.hazard_count() >= 1
+        assert trace.num_cycles() < 100
+
+    def test_trace_records_have_consistent_shape(self, example_arch, example_spec):
+        program = Program.from_streams(long=[alu("long", dst=1)], short=[alu("short", dst=0)])
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        for record in trace.cycles:
+            assert set(record.moe) == set(example_arch.moe_signals())
+            assert set(example_arch.input_signals()) <= set(record.inputs)
+            merged = record.signals()
+            assert set(record.moe) <= set(merged)
+        assert trace.describe().startswith("Simulation of")
+
+    def test_simulator_reset_between_runs(self, example_arch, example_spec):
+        simulator = PipelineSimulator(example_arch, reference_interlock(example_spec))
+        program = Program.from_streams(long=[alu("long", dst=0)], short=[])
+        first = simulator.run(program)
+        # Re-running the same Program object: fetch indices and occupancy reset,
+        # so the cycle count is identical.
+        second = simulator.run(program)
+        assert first.num_cycles() == second.num_cycles()
+
+
+class TestHazardDetectionWithBrokenInterlocks:
+    def test_never_stall_completion_causes_hazards(self, example_arch, example_spec):
+        from repro.faults import FaultInjector
+
+        fault = FaultInjector(example_spec).never_stall_fault("long.4.moe")
+        program = completion_contention_program(example_arch, length=20)
+        trace = simulate(example_arch, fault.interlock, program)
+        assert not trace.hazard_free()
+        kinds = {hazard.kind for hazard in trace.hazards}
+        assert kinds <= {HazardKind.OVERWRITE, HazardKind.LOST_WRITEBACK}
+
+    def test_missing_scoreboard_term_causes_stale_operands(self, example_arch, example_spec):
+        # Weaken the long issue stall condition by dropping the register
+        # hazard terms entirely.
+        from repro.spec import BuilderOptions, SpecBuilder
+
+        optimistic_spec = SpecBuilder(
+            example_arch, BuilderOptions(include_scoreboard=False)
+        ).build()
+        optimistic = ClosedFormInterlock.from_spec(optimistic_spec)
+        program = Program.from_streams(
+            long=dependent_chain("long", 8, num_registers=2), short=[]
+        )
+        trace = simulate(example_arch, optimistic, program)
+        assert trace.hazard_count(HazardKind.STALE_OPERAND) + trace.hazard_count(
+            HazardKind.WAW_VIOLATION
+        ) > 0
+
+    def test_broken_lockstep_detected(self, example_arch, example_spec):
+        from repro.spec import BuilderOptions, SpecBuilder
+
+        no_lockstep_spec = SpecBuilder(
+            example_arch, BuilderOptions(include_lockstep=False)
+        ).build()
+        loose = ClosedFormInterlock.from_spec(no_lockstep_spec)
+        program = Program.from_streams(
+            long=[wait("long", 3), alu("long", dst=0)],
+            short=[alu("short", dst=1), alu("short", dst=0)],
+        )
+        trace = simulate(example_arch, loose, program)
+        assert trace.hazard_count(HazardKind.LOCKSTEP_BROKEN) > 0
+
+    def test_bad_reset_low_just_delays(self, example_arch, example_spec):
+        reference = reference_interlock(example_spec)
+        delayed = StuckResetInterlock(
+            reference_interlock(example_spec),
+            {"long.1.moe": False, "short.1.moe": False},
+            cycles=3,
+        )
+        program = Program.from_streams(long=[alu("long", dst=0)], short=[])
+        base = simulate(example_arch, reference, program)
+        slow = simulate(example_arch, delayed, program)
+        assert slow.retired_instructions == base.retired_instructions
+        assert slow.num_cycles() >= base.num_cycles() + 3
+
+
+class TestWorkloadGenerators:
+    def test_generator_is_deterministic_per_seed(self, example_arch):
+        first = WorkloadGenerator(example_arch, seed=5).generate(BALANCED)
+        second = WorkloadGenerator(example_arch, seed=5).generate(BALANCED)
+        assert [i.kind for i in first.streams["long"]] == [
+            i.kind for i in second.streams["long"]
+        ]
+        third = WorkloadGenerator(example_arch, seed=6).generate(BALANCED)
+        assert [i.kind for i in first.streams["long"]] != [
+            i.kind for i in third.streams["long"]
+        ] or [i.dst for i in first.streams["long"]] != [i.dst for i in third.streams["long"]]
+
+    def test_profile_validation(self):
+        from repro.workloads import WorkloadProfile
+
+        with pytest.raises(ValueError):
+            WorkloadProfile(dependency_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(length=0)
+
+    def test_wait_instructions_only_on_wait_capable_pipes(self, example_arch):
+        from repro.workloads import WAIT_HEAVY
+
+        program = WorkloadGenerator(example_arch, seed=0).generate(WAIT_HEAVY)
+        assert not any(i.is_wait for i in program.streams["short"])
+        assert any(i.is_wait for i in program.streams["long"])
+
+    def test_register_addresses_respect_scoreboard_width(self, example_arch):
+        program = WorkloadGenerator(example_arch, seed=0).generate(HAZARD_HEAVY)
+        limit = example_arch.scoreboard.num_registers
+        for stream in program.streams.values():
+            for instruction in stream:
+                for address in instruction.source_registers() + instruction.destination_registers():
+                    assert 0 <= address < limit
+
+    def test_interrupt_profile_populates_external_inputs(self, firepath_arch):
+        from repro.workloads import WorkloadProfile
+
+        profile = WorkloadProfile(length=20, interrupt_rate=0.5)
+        program = WorkloadGenerator(firepath_arch, seed=0).generate(profile)
+        assert "interrupt" in program.external_inputs
+        assert program.external_inputs["interrupt"]
+
+    def test_fixed_streams(self):
+        assert len(independent_stream("p", 5)) == 5
+        chain = dependent_chain("p", 5, num_registers=4)
+        assert all(chain[i].src == chain[i - 1].dst for i in range(1, 5))
+        stream = wait_stream("p", 8, wait_every=4)
+        assert sum(1 for i in stream if i.is_wait) == 2
+        with pytest.raises(ValueError):
+            dependent_chain("p", 0)

@@ -1,0 +1,127 @@
+"""Tests for synthesis optimisation (repro.synth.optimize) and VHDL emission (repro.synth.vhdl)."""
+
+import pytest
+
+from repro.bdd import ExprBddContext
+from repro.expr import Iff, Var, parse_expr
+from repro.spec import FunctionalSpec, StallClause, symbolic_most_liberal
+from repro.synth import (
+    OptimizationError,
+    behavioural_vhdl,
+    module_to_vhdl,
+    optimize_derivation,
+    synthesis_to_vhdl,
+    synthesize_interlock,
+)
+
+
+@pytest.fixture(scope="module")
+def redundant_spec():
+    """A small spec whose stall conditions carry removable redundancy."""
+    return FunctionalSpec(
+        name="redundant",
+        clauses=[
+            StallClause(moe="p.2.moe", condition=parse_expr("req & !gnt | req & !gnt & rtm")),
+            StallClause(
+                moe="p.1.moe",
+                condition=parse_expr("rtm & !p.2.moe | rtm & !p.2.moe & wait | wait"),
+            ),
+        ],
+        inputs=["req", "gnt", "rtm", "wait"],
+    )
+
+
+class TestOptimizeDerivation:
+    def test_redundant_terms_are_removed(self, redundant_spec):
+        derivation = symbolic_most_liberal(redundant_spec)
+        report = optimize_derivation(redundant_spec, derivation)
+        assert report.total_literals_after() <= report.total_literals_before()
+        # The absorbed/duplicated terms must actually disappear.
+        assert report.total_literals_after() < report.total_literals_before()
+
+    def test_optimized_equations_are_equivalent(self, redundant_spec):
+        derivation = symbolic_most_liberal(redundant_spec)
+        report = optimize_derivation(redundant_spec, derivation)
+        context = ExprBddContext()
+        for moe, original in derivation.moe_expressions.items():
+            optimized = report.derivation.moe_expressions[moe]
+            assert context.is_valid(Iff(original, optimized))
+
+    def test_example_architecture_equations_stay_equivalent(self, example_spec, example_derivation):
+        report = optimize_derivation(example_spec, example_derivation)
+        context = ExprBddContext()
+        for moe, original in example_derivation.moe_expressions.items():
+            assert context.is_valid(Iff(original, report.derivation.moe_expressions[moe]))
+        assert report.total_literals_after() <= report.total_literals_before()
+
+    def test_care_set_allows_extra_reduction(self):
+        spec = FunctionalSpec(
+            name="care",
+            clauses=[StallClause(moe="p.1.moe", condition=parse_expr("req & busy"))],
+            inputs=["req", "busy"],
+        )
+        derivation = symbolic_most_liberal(spec)
+        unconstrained = optimize_derivation(spec, derivation)
+        constrained = optimize_derivation(spec, derivation, care=Var("busy"))
+        assert constrained.total_literals_after() <= unconstrained.total_literals_after()
+
+    def test_report_rows_have_expected_columns(self, redundant_spec):
+        derivation = symbolic_most_liberal(redundant_spec)
+        rows = optimize_derivation(redundant_spec, derivation).rows()
+        assert {"moe flag", "method", "literals before", "literals after", "reduction"} <= set(rows[0])
+        assert len(rows) == len(redundant_spec.moe_flags())
+
+    def test_optimized_netlist_still_matches_derived_interlock(self, redundant_spec):
+        derivation = symbolic_most_liberal(redundant_spec)
+        report = optimize_derivation(redundant_spec, derivation)
+        plain = synthesize_interlock(redundant_spec, derivation=derivation)
+        optimized = synthesize_interlock(redundant_spec, derivation=report.derivation)
+        assert optimized.gate_count() <= plain.gate_count()
+        # Both netlists compute the same function on a few sample inputs.
+        for valuation in (
+            {"req": True, "gnt": False, "rtm": True, "wait": False},
+            {"req": False, "gnt": False, "rtm": True, "wait": True},
+            {"req": True, "gnt": True, "rtm": False, "wait": False},
+        ):
+            assert plain.interlock().compute_moe(valuation) == optimized.interlock().compute_moe(valuation)
+
+
+class TestVhdlEmission:
+    def test_behavioural_vhdl_structure(self, example_spec, example_derivation):
+        text = behavioural_vhdl(example_spec, example_derivation, entity_name="dut")
+        assert "library ieee;" in text
+        assert "entity dut is" in text
+        assert "architecture rtl of dut is" in text
+        assert text.count("<=") == len(example_spec.moe_flags())
+        # Every moe flag appears as an output port.
+        for moe in example_spec.moe_flags():
+            assert moe.replace(".", "_") in text
+
+    def test_netlist_vhdl_structure(self, example_spec):
+        synthesis = synthesize_interlock(example_spec, module_name="netlist_dut")
+        text = synthesis_to_vhdl(synthesis)
+        assert "entity netlist_dut is" in text
+        assert "architecture netlist of netlist_dut is" in text
+        # One signal declaration per internal wire and one assignment per gate.
+        assert text.count("signal ") == len(synthesis.module.wires)
+        assert text.count("<=") == synthesis.module.gate_count()
+
+    def test_vhdl_ports_have_no_trailing_semicolon_before_close(self, example_spec):
+        synthesis = synthesize_interlock(example_spec)
+        text = module_to_vhdl(synthesis.module)
+        for previous, line in zip(text.splitlines(), text.splitlines()[1:]):
+            if line.strip() == ");":
+                assert not previous.split("--")[0].rstrip().endswith(";")
+
+    def test_behavioural_and_netlist_share_port_names(self, example_spec, example_derivation):
+        synthesis = synthesize_interlock(example_spec, derivation=example_derivation)
+        behavioural = behavioural_vhdl(example_spec, example_derivation, entity_name="x")
+        for port in synthesis.module.port_names():
+            assert port in behavioural
+
+    def test_synthesis_to_vhdl_behavioural_flag(self, example_spec):
+        synthesis = synthesize_interlock(example_spec)
+        behavioural = synthesis_to_vhdl(synthesis, behavioural=True)
+        structural = synthesis_to_vhdl(synthesis, behavioural=False)
+        assert "architecture rtl" in behavioural
+        assert "architecture netlist" in structural
