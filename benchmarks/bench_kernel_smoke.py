@@ -1,0 +1,23 @@
+"""Symbolic-kernel benchmark smoke run (the ``repro bench`` scenarios).
+
+A CI-sized pass over the same scenario registry the ``repro bench`` CLI
+uses: every scenario is executed in ``--quick`` mode so the whole file
+finishes in seconds while still touching the derivation, enumeration,
+trace-sweep, property-check and BMC code paths end to end.  The full-size
+timings live in ``BENCH_PR<n>.json`` at the repository root; regressions
+against them are gated by ``repro bench --check``.
+"""
+
+from repro.perf import available_scenarios, run_benchmarks
+
+
+def test_every_scenario_runs_in_quick_mode(benchmark):
+    names = available_scenarios()
+    results = benchmark(run_benchmarks, names=names, quick=True)
+    assert set(results) == set(names)
+    assert all(result.seconds >= 0.0 for result in results.values())
+
+    print()
+    print("=== quick-mode kernel benchmark timings ===")
+    for name, result in results.items():
+        print(f"  {name:24s} {result.seconds * 1000.0:9.2f} ms")

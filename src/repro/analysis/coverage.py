@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..expr.ast import Expr, Or
-from ..expr.evaluate import eval_expr
+from ..expr.compile import WORD_BITS, compile_bitparallel
+from ..expr.evaluate import UnboundVariableError
 from ..expr.printer import to_text
 from ..pipeline.trace import SimulationTrace
 from ..spec.functional import FunctionalSpec
@@ -189,6 +190,11 @@ def coverage_of(
 ) -> CoverageReport:
     """Accumulate specification coverage of the given traces.
 
+    Each disjunct is compiled once to bit-parallel word operations and
+    scored 64 cycles at a time; the per-cycle hit counts, sole-justification
+    counts and stall/move observations are recovered from the packed result
+    columns with population counts.
+
     Args:
         spec: the functional specification whose clauses define the coverage
             model.
@@ -198,29 +204,83 @@ def coverage_of(
             campaigns; a fresh one is created when omitted.
     """
     report = report or _new_report(spec)
+    compiled = {
+        (clause.moe, index): compile_bitparallel(disjunct)
+        for clause in spec.clauses
+        for index, disjunct in enumerate(_disjuncts_of(clause.condition))
+    }
+    strict_names: Dict[str, None] = {}
+    for compiled_disjunct in compiled.values():
+        for name in compiled_disjunct.names:
+            strict_names.setdefault(name, None)
+    moe_flags = [clause.moe for clause in spec.clauses]
+
     for trace in traces:
         report.traces_merged += 1
-        for record in trace.cycles:
-            signals = record.signals()
-            for clause in spec.clauses:
-                stage = report.stages[clause.moe]
-                stage.cycles_observed += 1
-                moe_value = signals.get(clause.moe, True)
-                if moe_value:
-                    stage.cycles_moving += 1
-                else:
-                    stage.cycles_stalled += 1
-                hits = []
-                for disjunct in stage.disjuncts:
-                    value = eval_expr(disjunct.condition, signals)
-                    if value:
-                        disjunct.hit_cycles += 1
-                        hits.append(disjunct)
-                if hits:
-                    stage.cycles_condition_true += 1
-                    if len(hits) == 1:
-                        hits[0].sole_justification_cycles += 1
+        num_cycles = len(trace.cycles)
+        if not num_cycles:
+            continue
+        columns, moe_columns = _pack_trace(trace, list(strict_names), moe_flags)
+        num_words = (num_cycles + WORD_BITS - 1) // WORD_BITS
+        full = (1 << WORD_BITS) - 1
+        masks = [
+            full
+            if (num_cycles - w * WORD_BITS) >= WORD_BITS
+            else (1 << (num_cycles - w * WORD_BITS)) - 1
+            for w in range(num_words)
+        ]
+        for clause in spec.clauses:
+            stage = report.stages[clause.moe]
+            stage.cycles_observed += num_cycles
+            moving = sum(
+                (word & mask).bit_count()
+                for word, mask in zip(moe_columns[clause.moe], masks)
+            )
+            stage.cycles_moving += moving
+            stage.cycles_stalled += num_cycles - moving
+            hit_columns = [
+                compiled[(clause.moe, disjunct.index)].evaluate_packed(
+                    columns, num_cycles
+                )
+                for disjunct in stage.disjuncts
+            ]
+            for disjunct, hits in zip(stage.disjuncts, hit_columns):
+                disjunct.hit_cycles += sum(word.bit_count() for word in hits)
+            for word_index in range(num_words):
+                union = 0
+                for hits in hit_columns:
+                    union |= hits[word_index]
+                if not union:
+                    continue
+                stage.cycles_condition_true += union.bit_count()
+                for disjunct, hits in zip(stage.disjuncts, hit_columns):
+                    others = 0
+                    for other in hit_columns:
+                        if other is not hits:
+                            others |= other[word_index]
+                    sole = hits[word_index] & ~others & masks[word_index]
+                    disjunct.sole_justification_cycles += sole.bit_count()
     return report
+
+
+def _pack_trace(
+    trace: SimulationTrace, strict_names: Sequence[str], moe_flags: Sequence[str]
+):
+    """Pack the signal columns a coverage pass needs into 64-cycle words.
+
+    Variables appearing in a stall-condition disjunct must be sampled by
+    the trace (matching :func:`~repro.expr.evaluate.eval_expr`, which raises
+    on unbound variables); the per-stage moe observation defaults to True
+    when the trace does not drive the flag, as before.
+    """
+    try:
+        columns = trace.pack_signal_columns(list(strict_names))
+    except KeyError as exc:
+        raise UnboundVariableError(exc.args[0]) from exc
+    moe_columns = trace.pack_signal_columns(
+        list(moe_flags), defaults={moe: True for moe in moe_flags}
+    )
+    return columns, moe_columns
 
 
 def merge_coverage(reports: Sequence[CoverageReport]) -> CoverageReport:

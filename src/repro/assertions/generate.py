@@ -143,6 +143,11 @@ def testbench_assertions(
     return out
 
 
+# The name starts with "test", so pytest would otherwise collect this helper
+# as a test function in every test module that imports it.
+testbench_assertions.__test__ = False
+
+
 def assertions_by_kind(assertions: List[Assertion]) -> Dict[AssertionKind, List[Assertion]]:
     """Group assertions by kind (used by reports)."""
     grouped: Dict[AssertionKind, List[Assertion]] = {}

@@ -8,9 +8,21 @@ maximum-performance specification.
 
 Nodes are integers indexing into the manager's node arrays.  The two
 terminals are ``0`` (FALSE) and ``1`` (TRUE).  Complement edges are not
-used; negation goes through ``apply``/``ite`` with memoisation, which is
-simple and fast enough for interlock-sized control cones (tens of
-variables).
+used; instead negation is a dedicated involution with its own cache, which
+keeps the node representation simple while still making ``¬¬f`` and
+``f ∧ ¬f`` constant time.
+
+The operation kernel is iterative (explicit work stack, no Python recursion
+limit) and memoises through a single operation-tagged cache: conjunction
+and disjunction are normalised to a standardized form — commuted operands
+are swapped into a canonical order and if-then-else triples that denote
+them are rewritten to the tagged binary form — so calls that commute or
+only differ syntactically hit the same memo entry.  Exclusive-or and
+equivalence are expressed as if-then-else products (without complement
+edges a dedicated xor form would materialise negated cones).
+Quantification is a single multi-variable pass, and the fused
+``and_exists`` relational product conjoins and quantifies in one sweep
+without building the intermediate conjunction.
 """
 
 from __future__ import annotations
@@ -20,6 +32,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 FALSE_NODE = 0
 TRUE_NODE = 1
 
+_TERMINAL_LEVEL = 2**31
+
 
 class BddManager:
     """Owns the unique table, the variable order and all BDD operations."""
@@ -27,11 +41,20 @@ class BddManager:
     def __init__(self, variable_order: Optional[Sequence[str]] = None):
         # Node storage: parallel lists indexed by node id.
         # Terminals occupy ids 0 and 1 with a sentinel level.
-        self._level: List[int] = [2**31, 2**31]
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
         self._low: List[int] = [FALSE_NODE, TRUE_NODE]
         self._high: List[int] = [FALSE_NODE, TRUE_NODE]
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        # Operation-tagged memo table shared by every operator: keys are
+        # ('and'|'or', a, b) with a < b, ('ite', f, g, h) for triples that
+        # do not reduce to a conjunction or disjunction, and
+        # ('E'|'A'|'EA', ...) for the quantification sweeps.
+        self._op_cache: Dict[tuple, int] = {}
+        # Negation cache (an involution: both directions are stored).
+        self._not_cache: Dict[int, int] = {}
+        # Interned quantification variable sets: frozenset of levels -> key.
+        self._quant_sets: Dict[frozenset, int] = {}
+        self._quant_levels: List[Tuple[frozenset, int]] = []
         self._var_levels: Dict[str, int] = {}
         self._level_vars: List[str] = []
         if variable_order is not None:
@@ -99,49 +122,469 @@ class BddManager:
         """The FALSE terminal."""
         return FALSE_NODE
 
-    # -- core operations --------------------------------------------------------
+    # -- normalisation ----------------------------------------------------------
 
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: the function ``f ? g : h``; all boolean ops reduce to it."""
-        # Terminal cases.
+    def _norm2(self, op: str, a: int, b: int):
+        """Standardize a binary operation; an ``int`` result is already decided."""
+        if op == "and":
+            if a == FALSE_NODE or b == FALSE_NODE:
+                return FALSE_NODE
+            if a == TRUE_NODE:
+                return b
+            if b == TRUE_NODE:
+                return a
+            if a == b:
+                return a
+            if self._not_cache.get(a) == b:
+                return FALSE_NODE
+        else:  # or
+            if a == TRUE_NODE or b == TRUE_NODE:
+                return TRUE_NODE
+            if a == FALSE_NODE:
+                return b
+            if b == FALSE_NODE:
+                return a
+            if a == b:
+                return a
+            if self._not_cache.get(a) == b:
+                return TRUE_NODE
+        if a > b:
+            a, b = b, a
+        return (op, a, b)
+
+    def _norm_ite(self, f: int, g: int, h: int):
+        """Standardize an if-then-else triple.
+
+        Triples denoting a conjunction or disjunction are rewritten to the
+        tagged commutative form so that, for example, ``ite(f, g, 0)`` and
+        ``ite(g, f, 0)`` land on the same ``('and', ...)`` memo entry.
+        Rewrites that would require a negation only fire when the negation
+        is already in the cache (a free dictionary lookup); materialising
+        new negated cones here would blow the unique table up instead of
+        speeding anything up.
+        """
         if f == TRUE_NODE:
             return g
         if f == FALSE_NODE:
             return h
         if g == h:
             return g
-        if g == TRUE_NODE and h == FALSE_NODE:
-            return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
+        if g == TRUE_NODE:
+            if h == FALSE_NODE:
+                return f
+            return self._norm2("or", f, h)
+        if g == FALSE_NODE and h == TRUE_NODE:
+            return self.not_(f)
+        if h == FALSE_NODE:
+            return self._norm2("and", f, g)
+        if g == f:
+            return self._norm2("or", f, h)
+        if h == f:
+            return self._norm2("and", f, g)
+        nf = self._not_cache.get(f)
+        if nf is not None:
+            if h == TRUE_NODE or h == nf:
+                return self._norm2("or", nf, g)
+            if g == FALSE_NODE or g == nf:
+                return self._norm2("and", nf, h)
+        return ("ite", f, g, h)
+
+    def _norm_quant(self, tag: str, node: int, quant_key: int):
+        if node <= TRUE_NODE:
+            return node
+        if self._level[node] > self._quant_levels[quant_key][1]:
+            return node
+        return (tag, node, quant_key)
+
+    def _norm_and_exists(self, f: int, g: int, quant_key: int):
+        if f == FALSE_NODE or g == FALSE_NODE:
+            return FALSE_NODE
+        if f == g or g == TRUE_NODE:
+            return self._norm_quant("E", f, quant_key)
+        if f == TRUE_NODE:
+            return self._norm_quant("E", g, quant_key)
+        if self._not_cache.get(f) == g:
+            return FALSE_NODE
+        max_level = self._quant_levels[quant_key][1]
+        if self._level[f] > max_level and self._level[g] > max_level:
+            return self._norm2("and", f, g)
+        if f > g:
+            f, g = g, f
+        return ("EA", f, g, quant_key)
+
+    # -- the iterative operation kernel ------------------------------------------
+
+    def _expand(self, key: tuple):
+        """One-time expansion of a task frame: ``(level, low_key, high_key, combine)``.
+
+        ``combine`` names how the two child results are joined: ``None`` for
+        a plain node at ``level``, ``'or'``/``'and'`` for a quantified level
+        (where ``low == 1``/``0`` respectively also short-circuits).
+        """
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        op = key[0]
+        if op == "E" or op == "A":
+            _, node, quant_key = key
+            level = levels[node]
+            low_key = self._norm_quant(op, lows[node], quant_key)
+            high_key = self._norm_quant(op, highs[node], quant_key)
+            if level in self._quant_levels[quant_key][0]:
+                combine = "or" if op == "E" else "and"
+            else:
+                combine = None
+            return level, low_key, high_key, combine
+        if op == "EA":
+            _, f, g, quant_key = key
+            lf, lg = levels[f], levels[g]
+            level = lf if lf < lg else lg
+            if lf == level:
+                f0, f1 = lows[f], highs[f]
+            else:
+                f0 = f1 = f
+            if lg == level:
+                g0, g1 = lows[g], highs[g]
+            else:
+                g0 = g1 = g
+            low_key = self._norm_and_exists(f0, g0, quant_key)
+            high_key = self._norm_and_exists(f1, g1, quant_key)
+            combine = "or" if level in self._quant_levels[quant_key][0] else None
+            return level, low_key, high_key, combine
+        # 'and' | 'or' (only reached via quantification combine steps)
+        _, a, b = key
+        la, lb = levels[a], levels[b]
+        level = la if la < lb else lb
+        if la == level:
+            a0, a1 = lows[a], highs[a]
+        else:
+            a0 = a1 = a
+        if lb == level:
+            b0, b1 = lows[b], highs[b]
+        else:
+            b0 = b1 = b
+        return level, self._norm2(op, a0, b0), self._norm2(op, a1, b1), None
+
+    def _run_binary(self, op: str, root_a: int, root_b: int) -> int:
+        """Tight inlined work-stack loop for AND / OR (the hot operations).
+
+        Conjunction and disjunction dominate every compile and check
+        workload, so their cofactor expansion, child normalisation, memo
+        lookup and unique-table insertion are all inlined into one loop —
+        no helper calls, no per-frame allocations beyond small tuples.
+        Children of an AND/OR task are always same-op tasks, so the loop
+        never leaves its operation.
+        """
+        cache = self._op_cache
+        unique = self._unique
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        nots = self._not_cache
+        is_and = op == "and"
+        stack = [(root_a, root_b)]
+        push = stack.append
+        while stack:
+            a, b = stack[-1]
+            key = (op, a, b)
+            if key in cache:
+                stack.pop()
+                continue
+            la = levels[a]
+            lb = levels[b]
+            level = la if la < lb else lb
+            if la == level:
+                a0, a1 = lows[a], highs[a]
+            else:
+                a0 = a1 = a
+            if lb == level:
+                b0, b1 = lows[b], highs[b]
+            else:
+                b0 = b1 = b
+            # Low child, normalisation inlined.
+            if is_and:
+                if a0 == 0 or b0 == 0:
+                    low = 0
+                elif a0 == 1:
+                    low = b0
+                elif b0 == 1:
+                    low = a0
+                elif a0 == b0:
+                    low = a0
+                elif nots.get(a0) == b0:
+                    low = 0
+                else:
+                    child = (op, a0, b0) if a0 < b0 else (op, b0, a0)
+                    low = cache.get(child)
+                    if low is None:
+                        push((child[1], child[2]))
+                        continue
+            else:
+                if a0 == 1 or b0 == 1:
+                    low = 1
+                elif a0 == 0:
+                    low = b0
+                elif b0 == 0:
+                    low = a0
+                elif a0 == b0:
+                    low = a0
+                elif nots.get(a0) == b0:
+                    low = 1
+                else:
+                    child = (op, a0, b0) if a0 < b0 else (op, b0, a0)
+                    low = cache.get(child)
+                    if low is None:
+                        push((child[1], child[2]))
+                        continue
+            # High child.
+            if is_and:
+                if a1 == 0 or b1 == 0:
+                    high = 0
+                elif a1 == 1:
+                    high = b1
+                elif b1 == 1:
+                    high = a1
+                elif a1 == b1:
+                    high = a1
+                elif nots.get(a1) == b1:
+                    high = 0
+                else:
+                    child = (op, a1, b1) if a1 < b1 else (op, b1, a1)
+                    high = cache.get(child)
+                    if high is None:
+                        push((child[1], child[2]))
+                        continue
+            else:
+                if a1 == 1 or b1 == 1:
+                    high = 1
+                elif a1 == 0:
+                    high = b1
+                elif b1 == 0:
+                    high = a1
+                elif a1 == b1:
+                    high = a1
+                elif nots.get(a1) == b1:
+                    high = 1
+                else:
+                    child = (op, a1, b1) if a1 < b1 else (op, b1, a1)
+                    high = cache.get(child)
+                    if high is None:
+                        push((child[1], child[2]))
+                        continue
+            # Unique-table insertion, inlined.
+            if low == high:
+                result = low
+            else:
+                nkey = (level, low, high)
+                result = unique.get(nkey)
+                if result is None:
+                    result = len(levels)
+                    levels.append(level)
+                    lows.append(low)
+                    highs.append(high)
+                    unique[nkey] = result
+            cache[key] = result
+            stack.pop()
+        return cache[(op, root_a, root_b)]
+
+    def _run_ite(self, root_f: int, root_g: int, root_h: int) -> int:
+        """Inlined work-stack loop for general if-then-else triples.
+
+        Mirrors :meth:`_run_binary`: cofactor expansion, memo lookup and
+        unique-table insertion are inlined; child triples that normalise to
+        a conjunction or disjunction are delegated to the binary loop.
+        """
+        cache = self._op_cache
+        unique = self._unique
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        norm_ite = self._norm_ite
+        stack = [(root_f, root_g, root_h)]
+        push = stack.append
+        while stack:
+            f, g, h = stack[-1]
+            key = ("ite", f, g, h)
+            if key in cache:
+                stack.pop()
+                continue
+            lf = levels[f]
+            lg = levels[g]
+            lh = levels[h]
+            level = lf if lf < lg else lg
+            if lh < level:
+                level = lh
+            if lf == level:
+                f0, f1 = lows[f], highs[f]
+            else:
+                f0 = f1 = f
+            if lg == level:
+                g0, g1 = lows[g], highs[g]
+            else:
+                g0 = g1 = g
+            if lh == level:
+                h0, h1 = lows[h], highs[h]
+            else:
+                h0 = h1 = h
+            low_key = norm_ite(f0, g0, h0)
+            if type(low_key) is tuple:
+                low = cache.get(low_key)
+                if low is None:
+                    if low_key[0] == "ite":
+                        push((low_key[1], low_key[2], low_key[3]))
+                        continue
+                    low = self._run_binary(low_key[0], low_key[1], low_key[2])
+            else:
+                low = low_key
+            high_key = norm_ite(f1, g1, h1)
+            if type(high_key) is tuple:
+                high = cache.get(high_key)
+                if high is None:
+                    if high_key[0] == "ite":
+                        push((high_key[1], high_key[2], high_key[3]))
+                        continue
+                    high = self._run_binary(high_key[0], high_key[1], high_key[2])
+            else:
+                high = high_key
+            if low == high:
+                result = low
+            else:
+                nkey = (level, low, high)
+                result = unique.get(nkey)
+                if result is None:
+                    result = len(levels)
+                    levels.append(level)
+                    lows.append(low)
+                    highs.append(high)
+                    unique[nkey] = result
+            cache[key] = result
+            stack.pop()
+        return cache[("ite", root_f, root_g, root_h)]
+
+    def _run(self, root: tuple) -> int:
+        """Evaluate one normalised quantification task (and what it spawns).
+
+        The generic engine for the quantification sweeps; AND/OR and
+        if-then-else subtrees spawned by normalisation are delegated to the
+        specialised inlined loops.  An explicit work stack replaces
+        recursion, so operand depth is bounded by available memory rather
+        than the Python recursion limit; a frame is re-examined after each
+        missing child completes.
+        """
+        cache = self._op_cache
+        stack = [root]
+        push = stack.append
+        while stack:
+            key = stack[-1]
+            if key in cache:
+                stack.pop()
+                continue
+            level, low_key, high_key, combine = self._expand(key)
+            if type(low_key) is tuple:
+                low = cache.get(low_key)
+                if low is None:
+                    lop = low_key[0]
+                    if lop == "and" or lop == "or":
+                        low = self._run_binary(lop, low_key[1], low_key[2])
+                    elif lop == "ite":
+                        low = self._run_ite(low_key[1], low_key[2], low_key[3])
+                    else:
+                        push(low_key)
+                        continue
+            else:
+                low = low_key
+            if combine is not None and low == (TRUE_NODE if combine == "or" else FALSE_NODE):
+                cache[key] = low
+                stack.pop()
+                continue
+            if type(high_key) is tuple:
+                high = cache.get(high_key)
+                if high is None:
+                    hop = high_key[0]
+                    if hop == "and" or hop == "or":
+                        high = self._run_binary(hop, high_key[1], high_key[2])
+                    elif hop == "ite":
+                        high = self._run_ite(high_key[1], high_key[2], high_key[3])
+                    else:
+                        push(high_key)
+                        continue
+            else:
+                high = high_key
+            if combine is None:
+                cache[key] = self._make_node(level, low, high)
+            else:
+                cache[key] = self._binary(combine, low, high)
+            stack.pop()
+        return cache[root]
+
+    def _binary(self, op: str, a: int, b: int) -> int:
+        key = self._norm2(op, a, b)
+        if type(key) is not tuple:
+            return key
+        cached = self._op_cache.get(key)
         if cached is not None:
             return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f_low, f_high = self._cofactors(f, level)
-        g_low, g_high = self._cofactors(g, level)
-        h_low, h_high = self._cofactors(h, level)
-        low = self.ite(f_low, g_low, h_low)
-        high = self.ite(f_high, g_high, h_high)
-        result = self._make_node(level, low, high)
-        self._ite_cache[key] = result
-        return result
+        return self._run_binary(key[0], key[1], key[2])
 
-    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
-        if self._level[node] == level:
-            return self._low[node], self._high[node]
-        return node, node
+    # -- core operations --------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the function ``f ? g : h``; all boolean ops reduce to it."""
+        key = self._norm_ite(f, g, h)
+        if type(key) is not tuple:
+            return key
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        if key[0] == "ite":
+            return self._run_ite(key[1], key[2], key[3])
+        return self._run_binary(key[0], key[1], key[2])
 
     def not_(self, f: int) -> int:
-        """Negation."""
-        return self.ite(f, FALSE_NODE, TRUE_NODE)
+        """Negation (a cached involution: ``not_(not_(f))`` is free)."""
+        if f <= TRUE_NODE:
+            return TRUE_NODE - f
+        cache = self._not_cache
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        stack = [f]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            low, high = lows[node], highs[node]
+            if low <= TRUE_NODE:
+                nlow = TRUE_NODE - low
+            else:
+                nlow = cache.get(low)
+                if nlow is None:
+                    stack.append(low)
+                    continue
+            if high <= TRUE_NODE:
+                nhigh = TRUE_NODE - high
+            else:
+                nhigh = cache.get(high)
+                if nhigh is None:
+                    stack.append(high)
+                    continue
+            result = self._make_node(levels[node], nlow, nhigh)
+            cache[node] = result
+            cache[result] = node
+            stack.pop()
+        return cache[f]
 
     def and_(self, f: int, g: int) -> int:
         """Conjunction."""
-        return self.ite(f, g, FALSE_NODE)
+        return self._binary("and", f, g)
 
     def or_(self, f: int, g: int) -> int:
         """Disjunction."""
-        return self.ite(f, TRUE_NODE, g)
+        return self._binary("or", f, g)
 
     def xor(self, f: int, g: int) -> int:
         """Exclusive or."""
@@ -159,7 +602,7 @@ class BddManager:
         """Conjunction of many functions."""
         out = TRUE_NODE
         for node in nodes:
-            out = self.and_(out, node)
+            out = self._binary("and", out, node)
             if out == FALSE_NODE:
                 return FALSE_NODE
         return out
@@ -168,7 +611,7 @@ class BddManager:
         """Disjunction of many functions."""
         out = FALSE_NODE
         for node in nodes:
-            out = self.or_(out, node)
+            out = self._binary("or", out, node)
             if out == TRUE_NODE:
                 return TRUE_NODE
         return out
@@ -206,12 +649,19 @@ class BddManager:
                 return node
             if node in cache:
                 return cache[node]
+            node_level = self._level[node]
             low = rec(self._low[node])
             high = rec(self._high[node])
-            if self._level[node] == level:
+            if node_level == level:
                 result = self.ite(g, high, low)
+            elif self._level[low] > node_level and self._level[high] > node_level:
+                result = self._make_node(node_level, low, high)
             else:
-                result = self._make_node(self._level[node], low, high)
+                # Substitution below pulled in variables at or above this
+                # level; rebuild through ite to restore the variable order.
+                result = self.ite(
+                    self._make_node(node_level, FALSE_NODE, TRUE_NODE), high, low
+                )
             cache[node] = result
             return result
 
@@ -239,31 +689,72 @@ class BddManager:
             high = rec(self._high[node])
             if level in levels:
                 result = self.ite(levels[level], high, low)
+            elif self._level[low] > level and self._level[high] > level:
+                result = self._make_node(level, low, high)
             else:
-                top = self._make_node(level, low, high)
-                result = top
+                # Substitution below pulled in variables at or above this
+                # level; rebuild through ite to restore the variable order.
+                result = self.ite(
+                    self._make_node(level, FALSE_NODE, TRUE_NODE), high, low
+                )
             cache[node] = result
             return result
 
         return rec(f)
 
+    def _quant_key(self, names: Iterable[str]) -> Optional[int]:
+        levels = frozenset(self.declare(name) for name in names)
+        if not levels:
+            return None
+        key = self._quant_sets.get(levels)
+        if key is None:
+            key = len(self._quant_levels)
+            self._quant_sets[levels] = key
+            self._quant_levels.append((levels, max(levels)))
+        return key
+
+    def _quantify(self, tag: str, f: int, names: Iterable[str]) -> int:
+        quant_key = self._quant_key(names)
+        if quant_key is None:
+            return f
+        key = self._norm_quant(tag, f, quant_key)
+        if type(key) is not tuple:
+            return key
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        return self._run(key)
+
     def exists(self, f: int, names: Iterable[str]) -> int:
-        """Existential quantification over the given variables."""
-        out = f
-        for name in names:
-            low = self.restrict(out, name, False)
-            high = self.restrict(out, name, True)
-            out = self.or_(low, high)
-        return out
+        """Existential quantification over the given variables.
+
+        A single memoised pass over the BDD quantifies every variable at
+        once (rather than two cofactor rebuilds per variable), and the memo
+        survives across calls with the same variable set.
+        """
+        return self._quantify("E", f, names)
 
     def forall(self, f: int, names: Iterable[str]) -> int:
-        """Universal quantification over the given variables."""
-        out = f
-        for name in names:
-            low = self.restrict(out, name, False)
-            high = self.restrict(out, name, True)
-            out = self.and_(low, high)
-        return out
+        """Universal quantification over the given variables (one fused pass)."""
+        return self._quantify("A", f, names)
+
+    def and_exists(self, f: int, g: int, names: Iterable[str]) -> int:
+        """The relational product ``∃ names . f ∧ g`` in one fused sweep.
+
+        Equivalent to ``exists(and_(f, g), names)`` but never materialises
+        the conjunction: quantified levels turn into disjunctions on the
+        way back up, and a TRUE low branch short-circuits the high branch.
+        """
+        quant_key = self._quant_key(names)
+        if quant_key is None:
+            return self._binary("and", f, g)
+        key = self._norm_and_exists(f, g, quant_key)
+        if type(key) is not tuple:
+            return key
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        return self._run(key)
 
     # -- queries -----------------------------------------------------------------
 
@@ -338,6 +829,47 @@ class BddManager:
 
         return count_below(f, 0)
 
+    def find_difference(self, f: int, g: int) -> Optional[Dict[str, bool]]:
+        """One assignment on which ``f`` and ``g`` disagree, or None.
+
+        Walks the two DAGs in lock step without materialising ``f ⊕ g``;
+        pairs proven difference-free are memoised, so the search is linear
+        in the number of reachable node pairs.
+        """
+        if f == g:
+            return None
+        no_difference: set = set()
+        assignment: Dict[str, bool] = {}
+
+        def rec(a: int, b: int) -> bool:
+            if a == b:
+                return False
+            la, lb = self._level[a], self._level[b]
+            level = la if la < lb else lb
+            if level == _TERMINAL_LEVEL:
+                return True  # two distinct terminals
+            pair = (a, b)
+            if pair in no_difference:
+                return False
+            a0, a1 = (self._low[a], self._high[a]) if la == level else (a, a)
+            b0, b1 = (self._low[b], self._high[b]) if lb == level else (b, b)
+            name = self._level_vars[level]
+            assignment[name] = False
+            if rec(a0, b0):
+                return True
+            assignment[name] = True
+            if rec(a1, b1):
+                return True
+            del assignment[name]
+            no_difference.add(pair)
+            return False
+
+        if not rec(f, g):  # pragma: no cover - f != g guarantees a witness
+            return None
+        for name in self.support(f) | self.support(g):
+            assignment.setdefault(name, False)
+        return assignment
+
     def pick_one(self, f: int) -> Optional[Dict[str, bool]]:
         """One satisfying assignment over the support of ``f``, or None."""
         if f == FALSE_NODE:
@@ -357,11 +889,20 @@ class BddManager:
         return assignment
 
     def all_sat(self, f: int, over: Optional[Sequence[str]] = None) -> Iterator[Dict[str, bool]]:
-        """Enumerate all satisfying assignments over ``over`` (default: support)."""
-        names = sorted(over) if over is not None else sorted(self.support(f))
+        """Enumerate all satisfying assignments over ``over`` (default: support).
+
+        Enumeration follows the manager's variable order: the BDD is walked
+        top-down, so ``over`` is traversed from the outermost declared level
+        inward regardless of the order (or names) the caller supplied.
+        """
+        pool = sorted(set(over)) if over is not None else sorted(self.support(f))
+        for name in pool:
+            self.declare(name)
+        names = sorted(pool, key=self._var_levels.__getitem__)
         missing = self.support(f) - set(names)
         if missing:
             raise ValueError(f"enumeration variables {sorted(missing)} are not in 'over'")
+        name_levels = [self._var_levels[name] for name in names]
 
         def rec(node: int, index: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
             if node == FALSE_NODE:
@@ -371,10 +912,11 @@ class BddManager:
                     yield dict(partial)
                 return
             name = names[index]
+            level = name_levels[index]
             for value in (False, True):
                 if node in (FALSE_NODE, TRUE_NODE):
                     child = node
-                elif self._level_vars[self._level[node]] == name:
+                elif self._level[node] == level:
                     child = self._high[node] if value else self._low[node]
                 else:
                     child = node

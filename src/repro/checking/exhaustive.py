@@ -64,7 +64,7 @@ class CampaignResult:
 def _run_one(
     architecture: Architecture,
     interlock: Interlock,
-    assertions: Sequence[Assertion],
+    monitor: AssertionMonitor,
     program: Program,
     config: Optional[SimulatorConfig],
     result: CampaignResult,
@@ -75,7 +75,6 @@ def _run_one(
 
     simulator = PipelineSimulator(architecture, interlock, config)
     trace = simulator.run(program)
-    monitor = AssertionMonitor(assertions)
     report = monitor.check_trace(trace)
     result.programs_run += 1
     result.cycles_simulated += trace.num_cycles()
@@ -103,11 +102,14 @@ def random_simulation_campaign(
     """Run randomly generated programs with the assertion monitor armed."""
     result = CampaignResult()
     profile = profile or WorkloadProfile()
+    # One monitor for the whole campaign: the assertion formulas are
+    # compiled to bit-parallel evaluators once and reused on every program.
+    monitor = AssertionMonitor(assertions)
     for index in range(num_programs):
         generator = WorkloadGenerator(architecture, seed=seed + index)
         program = generator.generate(profile)
         _run_one(
-            architecture, interlock, assertions, program, config, result, index, keep_reports
+            architecture, interlock, monitor, program, config, result, index, keep_reports
         )
     return result
 
@@ -131,6 +133,7 @@ def exhaustive_program_campaign(
     """
     result = CampaignResult()
     pipes = list(alphabet)
+    monitor = AssertionMonitor(assertions)
     per_slot_choices: List[List[tuple]] = []
     for _ in range(length):
         per_slot_choices.append(list(itertools.product(*(alphabet[pipe] for pipe in pipes))))
@@ -144,7 +147,7 @@ def exhaustive_program_campaign(
                 streams[pipe].append(instruction.copy())
         program = Program(streams=streams)
         _run_one(
-            architecture, interlock, assertions, program, config, result, index, keep_reports
+            architecture, interlock, monitor, program, config, result, index, keep_reports
         )
         index += 1
     return result

@@ -142,6 +142,28 @@ class PropertyChecker:
             return True, None
         return False, decision.model
 
+    def _prove_equivalence(self, left: Expr, right: Expr) -> (bool, Optional[Dict[str, bool]]):
+        """Prove ``left ↔ right`` (under the environment) without an iff BDD.
+
+        ``env → (left ↔ right)`` is valid exactly when ``env ∧ left`` and
+        ``env ∧ right`` are the same function — a pointer comparison after
+        two conjunctions, instead of the much larger iff product.  On
+        failure a differing assignment is recovered by walking the two
+        conjunction DAGs in lock step.
+        """
+        if self.backend != "bdd":
+            return self._prove(left.iff(right))
+        manager = self._context.manager
+        left_node = self._context.compile(left)
+        right_node = self._context.compile(right)
+        if self.environment is not None:
+            environment_node = self._context.compile(self.environment)
+            left_node = manager.and_(environment_node, left_node)
+            right_node = manager.and_(environment_node, right_node)
+        if left_node == right_node:
+            return True, None
+        return False, manager.find_difference(left_node, right_node)
+
     # -- checks ------------------------------------------------------------------------
 
     def check_functional(self, interlock: ClosedFormInterlock) -> CheckReport:
@@ -192,8 +214,9 @@ class PropertyChecker:
         )
         for clause in self.spec.clauses:
             condition = substitute(clause.condition, implementation)
-            claim = condition.iff(Not(implementation[clause.moe]))
-            holds, counterexample = self._prove(claim)
+            holds, counterexample = self._prove_equivalence(
+                condition, Not(implementation[clause.moe])
+            )
             report.results.append(
                 PropertyResult(
                     name=f"combined::{clause.label or clause.moe}",
@@ -213,8 +236,9 @@ class PropertyChecker:
             backend=self.backend,
         )
         for moe, derived_expression in self._derived_expressions().items():
-            claim = implementation[moe].iff(derived_expression)
-            holds, counterexample = self._prove(claim)
+            holds, counterexample = self._prove_equivalence(
+                implementation[moe], derived_expression
+            )
             report.results.append(
                 PropertyResult(
                     name=f"equivalence::{moe}", moe=moe, holds=holds, counterexample=counterexample

@@ -22,6 +22,8 @@ Sub-commands
 ``check``                 exhaustively property-check an interlock variant
 ``simulate``              run the cycle-accurate simulator with the generated
                           assertions armed, report stalls / coverage, dump VCD
+``bench``                 time the paper benchmarks (symbolic derivation,
+                          exhaustive sweeps, property checking) and write JSON
 ========================  =====================================================
 
 Every sub-command accepts either ``--arch <name>`` (a bundled architecture)
@@ -195,6 +197,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--coverage", action="store_true", help="also print specification coverage"
     )
 
+    bench = subparsers.add_parser(
+        "bench", help="time the paper benchmarks and write the results as JSON"
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    bench.add_argument("--list", action="store_true", help="list scenarios and exit")
+    bench.add_argument(
+        "--quick", action="store_true", help="smoke-test sizes (for CI); seconds, not minutes"
+    )
+    bench.add_argument("--repeat", type=int, default=1, help="timed repetitions per scenario")
+    bench.add_argument("--out", help="write the timings to this JSON file")
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit non-zero on regression",
+    )
+    bench.add_argument(
+        "--baseline",
+        default="BENCH_PR1.json",
+        help="baseline JSON for --check (default: BENCH_PR1.json)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="allowed slow-down factor before --check fails (default: 1.5)",
+    )
+
     return parser
 
 
@@ -330,6 +365,45 @@ def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
     return 0 if report.clean() else 1
 
 
+def _cmd_bench(args: argparse.Namespace, out: TextIO) -> int:
+    from .perf import (
+        available_scenarios,
+        check_against_baseline,
+        run_benchmarks,
+        write_results,
+    )
+
+    if args.list:
+        for name in available_scenarios():
+            out.write(f"{name}\n")
+        return 0
+    try:
+        results = run_benchmarks(
+            names=args.scenarios,
+            quick=args.quick,
+            repeat=args.repeat,
+            progress=lambda line: out.write(line + "\n"),
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    if args.out:
+        write_results(results, args.out)
+        out.write(f"timings written to {args.out}\n")
+    if args.check:
+        try:
+            failures = check_against_baseline(
+                results, args.baseline, tolerance=args.tolerance
+            )
+        except ValueError as exc:
+            raise CliError(f"bad baseline {args.baseline}: {exc}") from exc
+        if failures:
+            for failure in failures:
+                out.write(f"REGRESSION {failure}\n")
+            return 1
+        out.write(f"no regression against {args.baseline}\n")
+    return 0
+
+
 _COMMANDS = {
     "list-archs": _cmd_list_archs,
     "show-arch": _cmd_show_arch,
@@ -340,6 +414,7 @@ _COMMANDS = {
     "synth": _cmd_synth,
     "check": _cmd_check,
     "simulate": _cmd_simulate,
+    "bench": _cmd_bench,
 }
 
 

@@ -110,21 +110,38 @@ class Expr:
 
 
 class Const(Expr):
-    """A boolean constant, ``TRUE`` or ``FALSE``."""
+    """A boolean constant, ``TRUE`` or ``FALSE``.
 
-    __slots__ = ("value",)
+    Constants are interned (hash-consed): ``Const(True)`` always returns
+    the module-level ``TRUE`` object, so equality on the hot memo-table
+    paths is a pointer comparison.
+    """
 
-    def __init__(self, value: bool):
-        object.__setattr__(self, "value", bool(value))
+    __slots__ = ("value", "_hash")
+
+    _interned: dict = {}
+
+    def __new__(cls, value: bool):
+        value = bool(value)
+        if cls is Const:
+            cached = cls._interned.get(value)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("Const", value)))
+        if cls is Const:
+            cls._interned[value] = self
+        return self
 
     def __setattr__(self, name, value):  # immutability guard
         raise AttributeError("Const is immutable")
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Const) and other.value == self.value
+        return self is other or (isinstance(other, Const) and other.value == self.value)
 
     def __hash__(self) -> int:
-        return hash(("Const", self.value))
+        return self._hash
 
 
 TRUE = Const(True)
@@ -136,32 +153,48 @@ class Var(Expr):
 
     Names are plain strings; the pipeline modelling layer uses dotted names
     such as ``"long.1.moe"`` or ``"scb[3]"`` to mirror the paper's notation.
+
+    Variables are interned (hash-consed): constructing the same name twice
+    yields the same object, so structurally equal leaves hash once and
+    compare by identity in the compiler and transformation memo tables.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str):
+    _interned: dict = {}
+
+    def __new__(cls, name: str):
         if not isinstance(name, str) or not name:
             raise ValueError(f"variable name must be a non-empty string, got {name!r}")
+        if cls is Var:
+            cached = cls._interned.get(name)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Var", name)))
+        if cls is Var:
+            cls._interned[name] = self
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Var is immutable")
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Var) and other.name == self.name
+        return self is other or (isinstance(other, Var) and other.name == self.name)
 
     def __hash__(self) -> int:
-        return hash(("Var", self.name))
+        return self._hash
 
 
 class Not(Expr):
     """Logical negation."""
 
-    __slots__ = ("operand",)
+    __slots__ = ("operand", "_hash")
 
     def __init__(self, operand: Expr):
         object.__setattr__(self, "operand", _coerce(operand))
+        object.__setattr__(self, "_hash", hash(("Not", self.operand)))
 
     def __setattr__(self, name, value):
         raise AttributeError("Not is immutable")
@@ -170,10 +203,10 @@ class Not(Expr):
         return (self.operand,)
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Not) and other.operand == self.operand
+        return self is other or (isinstance(other, Not) and other.operand == self.operand)
 
     def __hash__(self) -> int:
-        return hash(("Not", self.operand))
+        return self._hash
 
 
 class _NaryOp(Expr):
@@ -184,7 +217,7 @@ class _NaryOp(Expr):
     are flattened on construction.
     """
 
-    __slots__ = ("operands",)
+    __slots__ = ("operands", "_hash")
     _symbol = "?"
 
     def __init__(self, *operands: Expr):
@@ -198,6 +231,7 @@ class _NaryOp(Expr):
         if not flat:
             raise ValueError(f"{type(self).__name__} requires at least one operand")
         object.__setattr__(self, "operands", tuple(flat))
+        object.__setattr__(self, "_hash", hash((type(self).__name__, self.operands)))
 
     def __setattr__(self, name, value):
         raise AttributeError(f"{type(self).__name__} is immutable")
@@ -206,10 +240,12 @@ class _NaryOp(Expr):
         return self.operands
 
     def __eq__(self, other) -> bool:
-        return type(other) is type(self) and other.operands == self.operands
+        return self is other or (
+            type(other) is type(self) and other.operands == self.operands
+        )
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.operands))
+        return self._hash
 
 
 class And(_NaryOp):
@@ -229,11 +265,14 @@ class Or(_NaryOp):
 class Implies(Expr):
     """Logical implication ``antecedent -> consequent``."""
 
-    __slots__ = ("antecedent", "consequent")
+    __slots__ = ("antecedent", "consequent", "_hash")
 
     def __init__(self, antecedent: Expr, consequent: Expr):
         object.__setattr__(self, "antecedent", _coerce(antecedent))
         object.__setattr__(self, "consequent", _coerce(consequent))
+        object.__setattr__(
+            self, "_hash", hash(("Implies", self.antecedent, self.consequent))
+        )
 
     def __setattr__(self, name, value):
         raise AttributeError("Implies is immutable")
@@ -242,24 +281,25 @@ class Implies(Expr):
         return (self.antecedent, self.consequent)
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Implies)
             and other.antecedent == self.antecedent
             and other.consequent == self.consequent
         )
 
     def __hash__(self) -> int:
-        return hash(("Implies", self.antecedent, self.consequent))
+        return self._hash
 
 
 class Iff(Expr):
     """Logical equivalence ``left <-> right``."""
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
 
     def __init__(self, left: Expr, right: Expr):
         object.__setattr__(self, "left", _coerce(left))
         object.__setattr__(self, "right", _coerce(right))
+        object.__setattr__(self, "_hash", hash(("Iff", self.left, self.right)))
 
     def __setattr__(self, name, value):
         raise AttributeError("Iff is immutable")
@@ -268,25 +308,28 @@ class Iff(Expr):
         return (self.left, self.right)
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Iff)
             and other.left == self.left
             and other.right == self.right
         )
 
     def __hash__(self) -> int:
-        return hash(("Iff", self.left, self.right))
+        return self._hash
 
 
 class Ite(Expr):
     """If-then-else over booleans: ``cond ? then : orelse``."""
 
-    __slots__ = ("cond", "then", "orelse")
+    __slots__ = ("cond", "then", "orelse", "_hash")
 
     def __init__(self, cond: Expr, then: Expr, orelse: Expr):
         object.__setattr__(self, "cond", _coerce(cond))
         object.__setattr__(self, "then", _coerce(then))
         object.__setattr__(self, "orelse", _coerce(orelse))
+        object.__setattr__(
+            self, "_hash", hash(("Ite", self.cond, self.then, self.orelse))
+        )
 
     def __setattr__(self, name, value):
         raise AttributeError("Ite is immutable")
@@ -295,7 +338,7 @@ class Ite(Expr):
         return (self.cond, self.then, self.orelse)
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Ite)
             and other.cond == self.cond
             and other.then == self.then
@@ -303,7 +346,7 @@ class Ite(Expr):
         )
 
     def __hash__(self) -> int:
-        return hash(("Ite", self.cond, self.then, self.orelse))
+        return self._hash
 
 
 def _coerce(value) -> Expr:

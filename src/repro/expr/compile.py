@@ -1,0 +1,244 @@
+"""Bit-parallel compilation of expressions to machine-word bitwise code.
+
+Brute-force sweeps — tautology checks by enumeration, assertion monitoring
+over long traces, coverage scoring — all reduce to evaluating the same
+expression under many assignments.  Doing that one assignment at a time
+with :func:`repro.expr.evaluate.eval_expr` costs a full tree walk plus a
+dictionary lookup per variable per row.
+
+This module compiles an :class:`~repro.expr.ast.Expr` once into a flat
+sequence of Python integer bitwise operations (one temporary per distinct
+sub-expression, shared sub-expressions evaluated once) and then evaluates
+**64 assignments per operation**: assignment *k* lives in bit *k* of every
+word, ``&``/``|``/``^`` act on all 64 lanes at once, and negation is an XOR
+with the lane mask.  Python's arbitrary-precision integers would allow even
+wider words, but 64 keeps every operand in CPython's fast small-big-int
+path.
+
+Three layers of API:
+
+* :func:`compile_bitparallel` — the compiler; returns a callable
+  :class:`CompiledExpr`.
+* :func:`pack_bools` / :meth:`CompiledExpr.evaluate_packed` — bulk
+  evaluation over externally supplied rows (simulation traces).
+* :func:`bitparallel_tautology` / :func:`bitparallel_satisfiable` /
+  :func:`bitparallel_count` / :func:`bitparallel_find_falsifying` —
+  exhaustive sweeps over all ``2**n`` assignments of the expression's
+  variables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .ast import And, Const, Expr, Iff, Implies, Ite, Not, Or, Var
+
+WORD_BITS = 64
+FULL_MASK = (1 << WORD_BITS) - 1
+
+# PATTERNS[i]: the value column of enumeration variable i (i < 6) within one
+# 64-assignment word — assignment k has variable i set iff bit i of k is set.
+_PATTERNS = [
+    sum(1 << b for b in range(WORD_BITS) if (b >> i) & 1) for i in range(6)
+]
+
+
+class CompiledExpr:
+    """An expression compiled to a word-level bitwise function.
+
+    Calling the object evaluates one word: ``compiled(values, mask)`` takes
+    one integer per variable (in :attr:`names` order), each holding up to 64
+    assignments in its bits, plus the mask of populated lanes, and returns
+    the result word (bits outside the mask are unspecified).
+    """
+
+    __slots__ = ("expr", "names", "_func", "source")
+
+    def __init__(self, expr: Expr, names: Tuple[str, ...], func: Callable, source: str):
+        self.expr = expr
+        self.names = names
+        self._func = func
+        self.source = source
+
+    def __call__(self, values: Sequence[int], mask: int = FULL_MASK) -> int:
+        return self._func(values, mask)
+
+    def evaluate_one(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate a single assignment (mainly for tests and spot checks)."""
+        values = [1 if assignment[name] else 0 for name in self.names]
+        return bool(self._func(values, 1) & 1)
+
+    def evaluate_packed(
+        self, columns: Mapping[str, Sequence[int]], num_rows: int
+    ) -> List[int]:
+        """Evaluate ``num_rows`` externally packed rows (see :func:`pack_bools`).
+
+        ``columns`` maps each variable to its packed value words; the result
+        is the packed output column.  Bits at and beyond ``num_rows`` in the
+        final word are zero.
+        """
+        func = self._func
+        try:
+            series = [columns[name] for name in self.names]
+        except KeyError as exc:
+            raise KeyError(f"no packed column for variable {exc.args[0]!r}") from exc
+        num_words = (num_rows + WORD_BITS - 1) // WORD_BITS
+        out: List[int] = []
+        for word_index in range(num_words):
+            remaining = num_rows - word_index * WORD_BITS
+            mask = FULL_MASK if remaining >= WORD_BITS else (1 << remaining) - 1
+            values = [column[word_index] for column in series]
+            out.append(func(values, mask) & mask)
+        return out
+
+
+def compile_bitparallel(expr: Expr, order: Optional[Sequence[str]] = None) -> CompiledExpr:
+    """Compile ``expr`` into a :class:`CompiledExpr`.
+
+    ``order`` fixes the variable-to-argument mapping; it must cover every
+    variable of the expression.  By default the expression's variables are
+    used in sorted order.
+    """
+    if order is None:
+        names: Tuple[str, ...] = tuple(sorted(expr.variables()))
+    else:
+        names = tuple(order)
+        missing = expr.variables() - set(names)
+        if missing:
+            raise ValueError(f"order is missing variables {sorted(missing)}")
+    index_of = {name: position for position, name in enumerate(names)}
+
+    lines: List[str] = []
+    memo: Dict[Expr, str] = {}
+    used: List[bool] = [False] * len(names)
+
+    def fresh(rhs: str) -> str:
+        name = f"t{len(lines)}"
+        lines.append(f"    {name} = {rhs}")
+        return name
+
+    def rec(node: Expr) -> str:
+        ref = memo.get(node)
+        if ref is not None:
+            return ref
+        if isinstance(node, Const):
+            ref = "M" if node.value else "0"
+        elif isinstance(node, Var):
+            position = index_of[node.name]
+            used[position] = True
+            ref = f"v{position}"
+        elif isinstance(node, Not):
+            ref = fresh(f"M ^ {rec(node.operand)}")
+        elif isinstance(node, And):
+            ref = fresh(" & ".join(rec(operand) for operand in node.operands))
+        elif isinstance(node, Or):
+            ref = fresh(" | ".join(rec(operand) for operand in node.operands))
+        elif isinstance(node, Implies):
+            antecedent = rec(node.antecedent)
+            consequent = rec(node.consequent)
+            ref = fresh(f"(M ^ {antecedent}) | {consequent}")
+        elif isinstance(node, Iff):
+            ref = fresh(f"M ^ ({rec(node.left)} ^ {rec(node.right)})")
+        elif isinstance(node, Ite):
+            cond = rec(node.cond)
+            then = rec(node.then)
+            orelse = rec(node.orelse)
+            ref = fresh(f"({cond} & {then}) | ((M ^ {cond}) & {orelse})")
+        else:
+            raise TypeError(f"cannot compile expression node {type(node).__name__}")
+        memo[node] = ref
+        return ref
+
+    root = rec(expr)
+    header = ["def _bitwise(values, M):"]
+    header.extend(
+        f"    v{position} = values[{position}]"
+        for position in range(len(names))
+        if used[position]
+    )
+    source = "\n".join(header + lines + [f"    return {root}"]) + "\n"
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<bitparallel>", "exec"), namespace)  # noqa: S102
+    return CompiledExpr(expr, names, namespace["_bitwise"], source)
+
+
+# -- packing -----------------------------------------------------------------------
+
+
+def pack_bools(values: Iterable[bool]) -> List[int]:
+    """Pack a row-major boolean sequence into 64-bit words (row k → bit k%64)."""
+    words: List[int] = []
+    word = 0
+    bit = 0
+    for value in values:
+        if value:
+            word |= 1 << bit
+        bit += 1
+        if bit == WORD_BITS:
+            words.append(word)
+            word = 0
+            bit = 0
+    if bit:
+        words.append(word)
+    return words
+
+
+# -- exhaustive sweeps --------------------------------------------------------------
+
+
+def _enumeration_values(names: Tuple[str, ...], word_index: int) -> List[int]:
+    """Per-variable value words for one 64-assignment block.
+
+    Assignment index ``word_index * 64 + b`` assigns variable ``i`` the bit
+    ``i`` of that index: the six lowest variables cycle within a word with
+    fixed patterns, higher variables are constant per word.
+    """
+    values: List[int] = []
+    for i in range(len(names)):
+        if i < 6:
+            values.append(_PATTERNS[i])
+        else:
+            values.append(FULL_MASK if (word_index >> (i - 6)) & 1 else 0)
+    return values
+
+
+def _sweep(expr: Expr) -> Iterable[Tuple[int, int, int]]:
+    """Yield ``(word_index, result_word, mask)`` over all assignments."""
+    compiled = compile_bitparallel(expr)
+    names = compiled.names
+    count = len(names)
+    if count <= 6:
+        mask = (1 << (1 << count)) - 1
+        yield 0, compiled(_enumeration_values(names, 0), mask), mask
+        return
+    for word_index in range(1 << (count - 6)):
+        yield word_index, compiled(_enumeration_values(names, word_index), FULL_MASK), FULL_MASK
+
+
+def bitparallel_tautology(expr: Expr) -> bool:
+    """Is ``expr`` true under every assignment of its variables?"""
+    return all((result & mask) == mask for _, result, mask in _sweep(expr))
+
+
+def bitparallel_satisfiable(expr: Expr) -> bool:
+    """Is ``expr`` true under at least one assignment of its variables?"""
+    return any(result & mask for _, result, mask in _sweep(expr))
+
+
+def bitparallel_count(expr: Expr) -> int:
+    """Number of satisfying assignments over the expression's variables."""
+    return sum((result & mask).bit_count() for _, result, mask in _sweep(expr))
+
+
+def bitparallel_find_falsifying(expr: Expr) -> Optional[Dict[str, bool]]:
+    """An assignment falsifying ``expr``, or None when it is a tautology."""
+    compiled_names = tuple(sorted(expr.variables()))
+    for word_index, result, mask in _sweep(expr):
+        failing = (~result) & mask
+        if failing:
+            bit = (failing & -failing).bit_length() - 1
+            index = word_index * WORD_BITS + bit
+            return {
+                name: bool((index >> i) & 1) for i, name in enumerate(compiled_names)
+            }
+    return None

@@ -126,15 +126,36 @@ def partial_eval(expr: Expr, assignment: Mapping[str, bool]) -> Expr:
     raise TypeError(f"cannot partially evaluate node {type(expr).__name__}")
 
 
-def all_assignments(names) -> Iterator[Dict[str, bool]]:
+def all_assignments(names, reuse: bool = False) -> Iterator[Dict[str, bool]]:
     """Enumerate every total assignment over the given variable names.
 
     Names are sorted so the enumeration order is deterministic.  Intended
     for exhaustive checks over small variable sets (the interlock control
     space of a single architecture is typically well under 30 variables).
+
+    With ``reuse=True`` one single dictionary is mutated in place and
+    yielded for every row — only the variable that flipped since the
+    previous assignment (Gray-code order is *not* used; all changed bits
+    are updated) is rewritten, instead of allocating a fresh dict per row.
+    Callers that store the yielded mappings must copy them or keep the
+    default; the hot enumeration loops in this package pass ``reuse=True``.
     """
     ordered = sorted(names)
     count = len(ordered)
+    if reuse:
+        current = {name: False for name in ordered}
+        yield current
+        for bits in range(1, 1 << count):
+            # Update exactly the variables whose bit changed from bits-1.
+            changed = bits ^ (bits - 1)
+            idx = 0
+            while changed:
+                if changed & 1:
+                    current[ordered[idx]] = bool((bits >> idx) & 1)
+                changed >>= 1
+                idx += 1
+            yield current
+        return
     for bits in range(1 << count):
         yield {
             name: bool((bits >> idx) & 1)
@@ -142,27 +163,34 @@ def all_assignments(names) -> Iterator[Dict[str, bool]]:
         }
 
 
-def is_tautology_by_enumeration(expr: Expr, max_vars: Optional[int] = 24) -> bool:
-    """Decide validity by brute-force enumeration.
-
-    Intended for tests and for small control cones; larger formulas should
-    use :mod:`repro.sat` or :mod:`repro.bdd`.
-    """
+def _check_enumerable(expr: Expr, max_vars: Optional[int]) -> frozenset:
     names = expr.variables()
     if max_vars is not None and len(names) > max_vars:
         raise ValueError(
             f"refusing to enumerate {len(names)} variables (> {max_vars}); "
             "use the SAT or BDD backend instead"
         )
-    return all(eval_expr(expr, assignment) for assignment in all_assignments(names))
+    return names
+
+
+def is_tautology_by_enumeration(expr: Expr, max_vars: Optional[int] = 24) -> bool:
+    """Decide validity by brute-force enumeration.
+
+    The sweep is bit-parallel (see :mod:`repro.expr.compile`): the
+    expression is compiled once to machine-word bitwise operations and 64
+    assignments are decided per evaluation.  Intended for tests and small
+    control cones; larger formulas should use :mod:`repro.sat` or
+    :mod:`repro.bdd`.
+    """
+    _check_enumerable(expr, max_vars)
+    from .compile import bitparallel_tautology
+
+    return bitparallel_tautology(expr)
 
 
 def is_satisfiable_by_enumeration(expr: Expr, max_vars: Optional[int] = 24) -> bool:
     """Decide satisfiability by brute-force enumeration (small formulas only)."""
-    names = expr.variables()
-    if max_vars is not None and len(names) > max_vars:
-        raise ValueError(
-            f"refusing to enumerate {len(names)} variables (> {max_vars}); "
-            "use the SAT or BDD backend instead"
-        )
-    return any(eval_expr(expr, assignment) for assignment in all_assignments(names))
+    _check_enumerable(expr, max_vars)
+    from .compile import bitparallel_satisfiable
+
+    return bitparallel_satisfiable(expr)

@@ -147,7 +147,7 @@ def _minterms_of(
     on_set: Set[int] = set()
     dont_care: Set[int] = set()
     num_vars = len(names)
-    for assignment in all_assignments(names):
+    for assignment in all_assignments(names, reuse=True):
         index = 0
         for position, name in enumerate(names):
             if assignment[name]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from .ast import (
     And,
@@ -26,27 +26,41 @@ def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
     ``mapping`` maps variable names to replacement expressions (or bools /
     strings, which are coerced).  Substitution is simultaneous, not
     sequential: replacements are not re-substituted.
+
+    Shared sub-expressions are substituted once and the result shares their
+    rewritten copies, so repeated substitution (for example the fixed-point
+    derivation's candidate chain) stays linear in the DAG size instead of
+    exploding with the unfolded tree.
     """
     resolved = {name: coerce(value) for name, value in mapping.items()}
+    # Memo keyed by node identity; the node reference is kept in the value
+    # so an id() is never reused by a collected temporary mid-walk.
+    memo: Dict[int, Tuple[Expr, Expr]] = {}
 
     def rec(node: Expr) -> Expr:
+        entry = memo.get(id(node))
+        if entry is not None and entry[0] is node:
+            return entry[1]
         if isinstance(node, Const):
-            return node
-        if isinstance(node, Var):
-            return resolved.get(node.name, node)
-        if isinstance(node, Not):
-            return Not(rec(node.operand))
-        if isinstance(node, And):
-            return And(*(rec(op) for op in node.operands))
-        if isinstance(node, Or):
-            return Or(*(rec(op) for op in node.operands))
-        if isinstance(node, Implies):
-            return Implies(rec(node.antecedent), rec(node.consequent))
-        if isinstance(node, Iff):
-            return Iff(rec(node.left), rec(node.right))
-        if isinstance(node, Ite):
-            return Ite(rec(node.cond), rec(node.then), rec(node.orelse))
-        raise TypeError(f"cannot substitute into {type(node).__name__}")
+            result = node
+        elif isinstance(node, Var):
+            result = resolved.get(node.name, node)
+        elif isinstance(node, Not):
+            result = Not(rec(node.operand))
+        elif isinstance(node, And):
+            result = And(*(rec(op) for op in node.operands))
+        elif isinstance(node, Or):
+            result = Or(*(rec(op) for op in node.operands))
+        elif isinstance(node, Implies):
+            result = Implies(rec(node.antecedent), rec(node.consequent))
+        elif isinstance(node, Iff):
+            result = Iff(rec(node.left), rec(node.right))
+        elif isinstance(node, Ite):
+            result = Ite(rec(node.cond), rec(node.then), rec(node.orelse))
+        else:
+            raise TypeError(f"cannot substitute into {type(node).__name__}")
+        memo[id(node)] = (node, result)
+        return result
 
     return rec(expr)
 
@@ -102,12 +116,33 @@ def to_nnf(expr: Expr) -> Expr:
     return rec(expr, False)
 
 
-def simplify(expr: Expr) -> Expr:
+def simplify(expr: Expr, _memo: Optional[Dict[int, Tuple[Expr, Expr]]] = None) -> Expr:
     """Light-weight constant folding, idempotence and complement rules.
 
     This is a syntactic simplifier (no SAT/BDD reasoning); it is enough to
-    keep generated specifications and synthesised RTL readable.
+    keep generated specifications and synthesised RTL readable.  Shared
+    sub-expressions are simplified once per call (memoised on identity), so
+    simplification of substitution DAGs stays linear in their node count.
     """
+    if _memo is None:
+        _memo = {}
+    entry = _memo.get(id(expr))
+    if entry is not None and entry[0] is expr:
+        return entry[1]
+    result = _simplify_node(expr, _memo)
+    _memo[id(expr)] = (expr, result)
+    return result
+
+
+def _simplify_node(expr: Expr, _memo: Dict[int, Tuple[Expr, Expr]]) -> Expr:
+    def simplify(node: Expr) -> Expr:  # shadow: recurse with the shared memo
+        entry = _memo.get(id(node))
+        if entry is not None and entry[0] is node:
+            return entry[1]
+        result = _simplify_node(node, _memo)
+        _memo[id(node)] = (node, result)
+        return result
+
     if isinstance(expr, (Const, Var)):
         return expr
     if isinstance(expr, Not):

@@ -319,6 +319,9 @@ class FaultCampaign:
         self.seed = seed
         self.max_cycles = max_cycles
         self.assertions = testbench_assertions(spec)
+        # One monitor for every fault in the campaign: the assertion
+        # formulas are compiled to bit-parallel evaluators exactly once.
+        self.monitor = AssertionMonitor(self.assertions)
         self.property_checker = PropertyChecker(
             spec, architecture=architecture, backend=property_backend
         )
@@ -326,7 +329,7 @@ class FaultCampaign:
     def run_fault(self, fault: InjectedFault) -> DetectionRecord:
         """Evaluate one injected fault with both verification routes."""
         record = DetectionRecord(fault=fault)
-        monitor = AssertionMonitor(self.assertions)
+        monitor = self.monitor
         config = SimulatorConfig(max_cycles=self.max_cycles)
         for index in range(self.num_programs):
             generator = WorkloadGenerator(self.architecture, seed=self.seed + index)

@@ -1,0 +1,19 @@
+"""Performance benchmarks for the symbolic kernel and verification flows."""
+
+from .bench import (
+    BenchResult,
+    Scenario,
+    available_scenarios,
+    check_against_baseline,
+    run_benchmarks,
+    write_results,
+)
+
+__all__ = [
+    "BenchResult",
+    "Scenario",
+    "available_scenarios",
+    "check_against_baseline",
+    "run_benchmarks",
+    "write_results",
+]

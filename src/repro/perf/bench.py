@@ -1,0 +1,379 @@
+"""The ``repro bench`` benchmark runner.
+
+Times the paper-shaped workloads that exercise the symbolic kernel — the
+fixed-point derivation, exhaustive enumeration, trace sweeps and the
+property/bounded checkers — and writes the timings to a JSON file so each
+PR leaves a trajectory (``BENCH_PR<n>.json``) the next one has to beat.
+
+Two extra modes keep the runner usable in CI:
+
+* ``--quick`` shrinks every scenario to a smoke-test size (seconds, not
+  minutes) while still touching the same code paths;
+* ``--check`` compares the fresh timings against a committed baseline file
+  and exits non-zero when any scenario regressed beyond the tolerance — a
+  lightweight performance gate.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..analysis import coverage_of
+from ..archs import example_architecture, firepath_like_architecture
+from ..assertions import monitor_trace, testbench_assertions
+from ..checking import (
+    BoundedModelChecker,
+    CombinationalModel,
+    PropertyChecker,
+    StuckResetModel,
+    environment_formula,
+)
+from ..expr.evaluate import is_tautology_by_enumeration
+from ..expr.transform import substitute
+from ..pipeline import ClosedFormInterlock, simulate
+from ..spec import build_functional_spec, conservative_variant, symbolic_most_liberal
+from ..workloads import WorkloadGenerator, WorkloadProfile
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Scenario:
+    """One timed benchmark: a setup phase (untimed) and a run phase (timed)."""
+
+    name: str
+    description: str
+    setup: Callable[[bool], Any]
+    run: Callable[[Any], Any]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BenchResult:
+    """Timing of one scenario."""
+
+    name: str
+    seconds: float
+    repeat: int
+    quick: bool
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "seconds": round(self.seconds, 6),
+            "repeat": self.repeat,
+            "quick": self.quick,
+            "meta": self.meta,
+        }
+
+
+# -- scenario definitions ----------------------------------------------------------
+
+
+def _setup_derive_example(quick: bool):
+    arch = example_architecture(num_registers=2 if quick else 8)
+    return build_functional_spec(arch)
+
+
+def _run_derive_example(spec):
+    return symbolic_most_liberal(spec)
+
+
+def _setup_derive_firepath(quick: bool):
+    if quick:
+        arch = firepath_like_architecture(
+            num_registers=2, deep_pipe_stages=4, loadstore_stages=3
+        )
+    else:
+        arch = firepath_like_architecture(num_registers=8)
+    return build_functional_spec(arch)
+
+
+def _run_derive_firepath(spec):
+    return symbolic_most_liberal(spec)
+
+
+def _setup_taut_enum(quick: bool):
+    # A genuine tautology over the control inputs: the derived most liberal
+    # moe assignment substituted back into the functional specification.
+    arch = example_architecture(num_registers=2)
+    spec = build_functional_spec(arch)
+    derivation = symbolic_most_liberal(spec)
+    formula = substitute(spec.functional_formula(), derivation.moe_expressions)
+    keep = 12 if quick else 18
+    names = sorted(formula.variables())
+    if len(names) > keep:
+        formula = substitute(formula, {name: False for name in names[keep:]})
+    return formula
+
+
+def _run_taut_enum(formula):
+    if not is_tautology_by_enumeration(formula, max_vars=None):
+        raise AssertionError("benchmark formula must be a tautology")
+    return True
+
+
+def _example_trace(quick: bool):
+    arch = example_architecture()
+    spec = build_functional_spec(arch)
+    interlock = ClosedFormInterlock.from_derivation(symbolic_most_liberal(spec))
+    length = 64 if quick else 512
+    program = WorkloadGenerator(arch, seed=7).generate(WorkloadProfile(length=length))
+    trace = simulate(arch, interlock, program)
+    return arch, spec, trace
+
+
+def _setup_coverage(quick: bool):
+    _, spec, trace = _example_trace(quick)
+    return spec, [trace] * (1 if quick else 8)
+
+
+def _run_coverage(state):
+    spec, traces = state
+    return coverage_of(spec, traces)
+
+
+def _setup_monitor(quick: bool):
+    _, spec, trace = _example_trace(quick)
+    return testbench_assertions(spec), trace, 1 if quick else 8
+
+
+def _run_monitor(state):
+    assertions, trace, reps = state
+    report = None
+    for _ in range(reps):
+        report = monitor_trace(trace, assertions)
+    return report
+
+
+def _setup_property_check(quick: bool):
+    arch = example_architecture(num_registers=2 if quick else 8)
+    spec = build_functional_spec(arch)
+    conservative = ClosedFormInterlock.from_spec(
+        conservative_variant(arch), name="conservative-variant"
+    )
+    return spec, arch, conservative
+
+
+def _run_property_check(state):
+    spec, arch, conservative = state
+    checker = PropertyChecker(spec, architecture=arch, backend="bdd")
+    functional = checker.check_functional(conservative)
+    performance = checker.check_performance(conservative)
+    equivalence = checker.check_equivalence_with_derived(conservative)
+    if not functional.all_hold():
+        raise AssertionError("conservative variant must satisfy the functional spec")
+    if performance.all_hold() and equivalence.all_hold():
+        raise AssertionError("conservative variant must fail the performance half")
+    return functional, performance, equivalence
+
+
+def _setup_bmc(quick: bool):
+    # Large enough (4-register scoreboard, bound 6) that the timing is
+    # dominated by the checker, not by per-run noise — a millisecond-scale
+    # scenario makes the --check gate flap.
+    arch = example_architecture(num_registers=2 if quick else 4)
+    spec = build_functional_spec(arch)
+    derivation = symbolic_most_liberal(spec)
+    base = CombinationalModel(derivation.moe_expressions, name="example-derived")
+    completion = spec.moe_flags()[-1]
+    model = StuckResetModel(base, forced_values={completion: False}, cycles=2)
+    return spec, environment_formula(arch), model, 2 if quick else 6
+
+
+def _run_bmc(state):
+    # A fresh checker per check: its per-instance caches must not carry
+    # over, or the reported time is a warm-cache artefact rather than what
+    # a cold check costs.  Three cold checks per timed run keep the
+    # scenario long enough that scheduler jitter cannot trip the 1.5x gate.
+    spec, environment, model, bound = state
+    result = None
+    for _ in range(3):
+        checker = BoundedModelChecker(spec, environment=environment, stop_at_first=False)
+        result = checker.check_performance(model, bound=bound)
+    if result.holds:
+        raise AssertionError("stuck-reset model must show a performance violation")
+    return result
+
+
+_SCENARIOS: List[Scenario] = [
+    Scenario(
+        name="derive_example",
+        description="symbolic fixed-point derivation, paper example architecture "
+        "(8-register scoreboard)",
+        setup=_setup_derive_example,
+        run=_run_derive_example,
+        meta={"kind": "symbolic-derivation"},
+    ),
+    Scenario(
+        name="derive_firepath",
+        description="symbolic fixed-point derivation, FirePath-scale two-sided LIW "
+        "architecture (6 pipes, 8-register scoreboard, ~157 control inputs)",
+        setup=_setup_derive_firepath,
+        run=_run_derive_firepath,
+        meta={"kind": "symbolic-derivation"},
+    ),
+    Scenario(
+        name="taut_enum_18",
+        description="exhaustive tautology sweep over 18 control inputs "
+        "(derived moe assignment substituted into the functional spec)",
+        setup=_setup_taut_enum,
+        run=_run_taut_enum,
+        meta={"kind": "exhaustive-enumeration"},
+    ),
+    Scenario(
+        name="coverage_sweep",
+        description="specification coverage of 8 x ~1000-cycle traces of the "
+        "example architecture",
+        setup=_setup_coverage,
+        run=_run_coverage,
+        meta={"kind": "trace-sweep"},
+    ),
+    Scenario(
+        name="assertion_monitor",
+        description="assertion monitoring of 8 x ~1000-cycle traces (the inner "
+        "loop of simulation and fault campaigns)",
+        setup=_setup_monitor,
+        run=_run_monitor,
+        meta={"kind": "trace-sweep"},
+    ),
+    Scenario(
+        name="property_check",
+        description="BDD property check (functional + performance + equivalence) "
+        "of the conservative interlock, paper example architecture",
+        setup=_setup_property_check,
+        run=_run_property_check,
+        meta={"kind": "property-check"},
+    ),
+    Scenario(
+        name="bmc_stuck_reset",
+        description="bounded performance check of a stuck-reset interlock model",
+        setup=_setup_bmc,
+        run=_run_bmc,
+        meta={"kind": "bounded-model-check"},
+    ),
+]
+
+
+def available_scenarios() -> List[str]:
+    """Names of every registered benchmark scenario."""
+    return [scenario.name for scenario in _SCENARIOS]
+
+
+# -- running -----------------------------------------------------------------------
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeat: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, BenchResult]:
+    """Run (a subset of) the scenarios and return their timings.
+
+    Each scenario's setup phase is excluded from the timing; the run phase
+    is repeated ``repeat`` times and the minimum is reported, which is the
+    conventional low-noise estimator for wall-clock microbenchmarks.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    selected = list(_SCENARIOS)
+    if names is not None:
+        unknown = set(names) - set(available_scenarios())
+        if unknown:
+            raise ValueError(f"unknown scenario(s): {sorted(unknown)}")
+        selected = [scenario for scenario in selected if scenario.name in set(names)]
+    results: Dict[str, BenchResult] = {}
+    for scenario in selected:
+        if progress is not None:
+            progress(f"[{scenario.name}] setup ...")
+        state = scenario.setup(quick)
+        best = None
+        for _ in range(repeat):
+            # Pay off garbage from setup and earlier scenarios now, so a
+            # small scenario does not absorb a gen-2 collection pause that
+            # belongs to its predecessors.
+            gc.collect()
+            start = time.perf_counter()
+            scenario.run(state)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        results[scenario.name] = BenchResult(
+            name=scenario.name,
+            seconds=best,
+            repeat=repeat,
+            quick=quick,
+            meta=dict(scenario.meta, description=scenario.description),
+        )
+        if progress is not None:
+            progress(f"[{scenario.name}] {best:.4f}s")
+    return results
+
+
+def write_results(results: Dict[str, BenchResult], path: str) -> None:
+    """Write one benchmark run to a JSON file."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "scenarios": {name: result.as_dict() for name, result in results.items()},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _baseline_scenarios(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Extract scenario timings from either a run file or a PR trajectory file."""
+    if "scenarios" in payload:
+        return payload["scenarios"]
+    if "current" in payload and "scenarios" in payload["current"]:
+        return payload["current"]["scenarios"]
+    raise ValueError("baseline file has no 'scenarios' section")
+
+
+def check_against_baseline(
+    results: Dict[str, BenchResult],
+    baseline_path: str,
+    tolerance: float = 1.5,
+) -> List[str]:
+    """Compare fresh timings to a baseline; return a list of regression messages.
+
+    A scenario counts as regressed when it is more than ``tolerance`` times
+    slower than the baseline.  Scenarios absent from either side are
+    skipped (the gate should not fail just because a new benchmark was
+    added), and so are scenarios whose ``quick`` flag differs from the
+    baseline's: quick workloads are far smaller, so comparing a quick run
+    against a full-size baseline (or vice versa) would make the gate
+    vacuous rather than strict.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    baseline = _baseline_scenarios(payload)
+    failures: List[str] = []
+    for name, result in results.items():
+        reference = baseline.get(name)
+        if reference is None:
+            continue
+        if bool(reference.get("quick")) != result.quick:
+            failures.append(
+                f"{name}: not comparable — this run is "
+                f"{'quick' if result.quick else 'full-size'} but the baseline was "
+                f"{'quick' if reference.get('quick') else 'full-size'}; "
+                "rerun with matching size"
+            )
+            continue
+        reference_seconds = float(reference["seconds"])
+        if reference_seconds <= 0.0:
+            continue
+        ratio = result.seconds / reference_seconds
+        if ratio > tolerance:
+            failures.append(
+                f"{name}: {result.seconds:.4f}s vs baseline "
+                f"{reference_seconds:.4f}s ({ratio:.2f}x > {tolerance:.2f}x tolerance)"
+            )
+    return failures

@@ -79,6 +79,50 @@ class SimulationTrace:
     issued_instructions: int = 0
     dropped_instructions: int = 0
 
+    # -- bulk access ----------------------------------------------------------------
+
+    def pack_signal_columns(
+        self,
+        names: List[str],
+        defaults: Optional[Dict[str, bool]] = None,
+    ) -> Dict[str, List[int]]:
+        """Pack per-cycle signal values into 64-bit words (cycle k → bit k%64).
+
+        This is the input format of the bit-parallel expression evaluator
+        (:mod:`repro.expr.compile`): the assertion monitor and the coverage
+        scorer both evaluate their formulas 64 cycles at a time over these
+        columns.  Each signal is resolved from the cycle's moe valuation
+        first, then its inputs; a signal a cycle does not sample falls back
+        to ``defaults`` or raises ``KeyError`` with the signal name.
+        """
+        word_bits = 64
+        defaults = defaults or {}
+        columns: Dict[str, List[int]] = {name: [] for name in names}
+        current = dict.fromkeys(names, 0)
+        for index, record in enumerate(self.cycles):
+            bit = index % word_bits
+            if bit == 0 and index:
+                for name in names:
+                    columns[name].append(current[name])
+                    current[name] = 0
+            moe = record.moe
+            inputs = record.inputs
+            for name in names:
+                if name in moe:
+                    value = moe[name]
+                elif name in inputs:
+                    value = inputs[name]
+                elif name in defaults:
+                    value = defaults[name]
+                else:
+                    raise KeyError(name)
+                if value:
+                    current[name] |= 1 << bit
+        if self.cycles:
+            for name in names:
+                columns[name].append(current[name])
+        return columns
+
     # -- aggregate statistics -------------------------------------------------------
 
     def num_cycles(self) -> int:

@@ -145,9 +145,23 @@ def symbolic_most_liberal(
     """
     moe_flags = spec.moe_flags()
     limit = max_iterations if max_iterations is not None else len(moe_flags) + 2
-    context = ExprBddContext()
+    # The fixed point is iterated in BDD space: every stall condition is
+    # compiled once, and each step substitutes the candidate moe functions
+    # with a (memoised) simultaneous composition instead of re-compiling the
+    # ever-growing substituted expression trees.  The expression-level
+    # candidates are kept in lock step purely as the human-readable output;
+    # composition and substitution compute the same function, so the
+    # expression and BDD sides converge at the same iteration.  The moe
+    # flags are declared at the top of the variable order: the candidates
+    # they are replaced by range over primary inputs only, so composition
+    # then never lifts a variable above its substitution point.
+    context = ExprBddContext(list(moe_flags) + list(spec.input_signals()))
+    manager = context.manager
+    condition_nodes: Dict[str, int] = {
+        clause.moe: context.compile(clause.condition) for clause in spec.clauses
+    }
     current: Dict[str, Expr] = {moe: TRUE for moe in moe_flags}
-    current_nodes: Dict[str, int] = {moe: context.compile(TRUE) for moe in moe_flags}
+    current_nodes: Dict[str, int] = {moe: manager.true() for moe in moe_flags}
 
     iterations = 0
     for _ in range(limit):
@@ -158,7 +172,9 @@ def symbolic_most_liberal(
         for clause in spec.clauses:
             substituted = substitute(clause.condition, current)
             candidate = simplify(Not(substituted)) if simplify_result else Not(substituted)
-            node = context.compile(candidate)
+            node = manager.not_(
+                manager.compose_many(condition_nodes[clause.moe], current_nodes)
+            )
             next_exprs[clause.moe] = candidate
             next_nodes[clause.moe] = node
             if node != current_nodes[clause.moe]:
@@ -252,10 +268,17 @@ def most_liberal_is_maximal(
     """
     derivation = derivation or symbolic_most_liberal(spec)
     context = ExprBddContext()
-    functional = spec.functional_formula()
+    manager = context.manager
+    functional_node = context.compile(spec.functional_formula())
     for moe in spec.moe_flags():
-        claim = functional.implies(Var(moe).implies(derivation.moe_expressions[moe]))
-        if not context.is_valid(claim):
+        # The claim is valid iff SPEC_func ∧ ¬(moe_i → MOE_i) is unsatisfiable;
+        # the fused relational product decides that in one sweep without
+        # building the conjunction.
+        refutation = context.compile(Not(Var(moe).implies(derivation.moe_expressions[moe])))
+        witness = manager.and_exists(
+            functional_node, refutation, manager.variable_order()
+        )
+        if witness != manager.false():
             return False
     return True
 

@@ -103,6 +103,30 @@ class TestManagerOperations:
         expected = manager.and_(y, manager.not_(x))
         assert swapped == expected
 
+    def test_compose_with_earlier_levels_stays_canonical(self):
+        # Regression: substituting a function whose variables sit at
+        # *earlier* levels than the composed node used to build out-of-order
+        # nodes, silently breaking canonicity (equal functions stopped
+        # sharing one node, which defeats pointer-equality checks).
+        manager = BddManager(["a", "b", "rtm", "m"])
+        f = manager.and_(manager.var("rtm"), manager.not_(manager.var("m")))
+        g = manager.and_(manager.var("a"), manager.var("b"))
+        composed = manager.compose(f, "m", g)
+        expected = manager.and_(manager.var("rtm"), manager.not_(g))
+        assert composed == expected
+        composed_many = manager.compose_many(f, {"m": g})
+        assert composed_many == expected
+
+    def test_and_exists_is_fused_relational_product(self):
+        manager = BddManager()
+        x, y, z = manager.var("x"), manager.var("y"), manager.var("z")
+        transition = manager.and_(x, manager.or_(y, z))
+        constraint = manager.implies(y, z)
+        fused = manager.and_exists(transition, constraint, ["y"])
+        unfused = manager.exists(manager.and_(transition, constraint), ["y"])
+        assert fused == unfused
+        assert manager.and_exists(x, manager.not_(x), ["x"]) == manager.false()
+
     def test_exists_forall(self):
         manager = BddManager()
         x, y = manager.var("x"), manager.var("y")

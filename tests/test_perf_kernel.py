@@ -1,0 +1,216 @@
+"""Property-based and regression tests for the performance kernel.
+
+Covers the PR-1 speed work: the bit-parallel compiled evaluator must agree
+with :func:`eval_expr` everywhere, the fused quantification operations must
+agree with their unfused compositions, and the benchmark runner must stay
+runnable as a CI smoke test.
+"""
+
+import json
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager, compile_expr
+from repro.expr import (
+    And,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Var,
+    all_assignments,
+    bitparallel_count,
+    bitparallel_find_falsifying,
+    bitparallel_satisfiable,
+    bitparallel_tautology,
+    compile_bitparallel,
+    eval_expr,
+    pack_bools,
+)
+
+VARIABLE_NAMES = ["a", "b", "c", "d", "e", "f", "g", "h"]
+
+
+def expressions(max_leaves: int = 14):
+    """Random expressions over a small alphabet, all connectives included."""
+    leaves = st.sampled_from([Var(name) for name in VARIABLE_NAMES])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda pair: And(*pair)),
+            st.tuples(children, children).map(lambda pair: Or(*pair)),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+            st.tuples(children, children).map(lambda pair: Iff(*pair)),
+            st.tuples(children, children, children).map(lambda triple: Ite(*triple)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestBitParallelEvaluator:
+    @settings(max_examples=80, deadline=None)
+    @given(expressions())
+    def test_agrees_with_eval_expr_on_every_assignment(self, expr):
+        names = sorted(expr.variables())
+        compiled = compile_bitparallel(expr)
+        brute = [eval_expr(expr, a) for a in all_assignments(names)]
+        assert bitparallel_tautology(expr) == all(brute)
+        assert bitparallel_satisfiable(expr) == any(brute)
+        assert bitparallel_count(expr) == sum(brute)
+        for assignment in all_assignments(names):
+            assert compiled.evaluate_one(assignment) == eval_expr(expr, assignment)
+
+    @settings(max_examples=40, deadline=None)
+    @given(expressions(), st.integers(min_value=1, max_value=150), st.randoms())
+    def test_packed_evaluation_matches_rows(self, expr, num_rows, rng):
+        names = sorted(expr.variables())
+        rows = [
+            {name: bool(rng.getrandbits(1)) for name in names} for _ in range(num_rows)
+        ]
+        compiled = compile_bitparallel(expr)
+        columns = {name: pack_bools(row[name] for row in rows) for name in names}
+        packed = compiled.evaluate_packed(columns, num_rows)
+        for index, row in enumerate(rows):
+            bit = (packed[index // 64] >> (index % 64)) & 1
+            assert bool(bit) == eval_expr(expr, row)
+
+    @settings(max_examples=60, deadline=None)
+    @given(expressions())
+    def test_falsifying_witness_is_genuine(self, expr):
+        witness = bitparallel_find_falsifying(expr)
+        if witness is None:
+            assert bitparallel_tautology(expr)
+        else:
+            assert eval_expr(expr, witness) is False
+
+    def test_wide_sweep_crosses_word_boundary(self):
+        # Seven variables: 128 assignments spread over two 64-bit words.
+        expr = Or(*(Var(name) for name in VARIABLE_NAMES[:7]))
+        assert not bitparallel_tautology(expr)
+        assert bitparallel_count(expr) == (1 << 7) - 1
+        assert bitparallel_find_falsifying(expr) == {
+            name: False for name in VARIABLE_NAMES[:7]
+        }
+
+
+class TestFusedQuantification:
+    @settings(max_examples=60, deadline=None)
+    @given(expressions(10), expressions(10), st.data())
+    def test_and_exists_agrees_with_and_then_exists(self, left, right, data):
+        quantified = data.draw(
+            st.lists(st.sampled_from(VARIABLE_NAMES), max_size=4, unique=True)
+        )
+        manager = BddManager(VARIABLE_NAMES)
+        left_node = compile_expr(manager, left)
+        right_node = compile_expr(manager, right)
+        fused = manager.and_exists(left_node, right_node, quantified)
+        unfused = manager.exists(manager.and_(left_node, right_node), quantified)
+        assert fused == unfused
+
+    @settings(max_examples=60, deadline=None)
+    @given(expressions(10), st.data())
+    def test_multi_variable_pass_agrees_with_one_at_a_time(self, expr, data):
+        quantified = data.draw(
+            st.lists(st.sampled_from(VARIABLE_NAMES), max_size=4, unique=True)
+        )
+        manager = BddManager(VARIABLE_NAMES)
+        node = compile_expr(manager, expr)
+        exists_once = manager.exists(node, quantified)
+        forall_once = manager.forall(node, quantified)
+        exists_seq, forall_seq = node, node
+        for name in quantified:
+            exists_seq = manager.or_(
+                manager.restrict(exists_seq, name, False),
+                manager.restrict(exists_seq, name, True),
+            )
+            forall_seq = manager.and_(
+                manager.restrict(forall_seq, name, False),
+                manager.restrict(forall_seq, name, True),
+            )
+        assert exists_once == exists_seq
+        assert forall_once == forall_seq
+
+
+class TestIterativeKernel:
+    def test_ite_depth_beyond_python_recursion_limit(self):
+        # A conjunction chain deeper than the recursion limit: the explicit
+        # work stack must walk it without raising RecursionError.
+        depth = sys.getrecursionlimit() + 500
+        manager = BddManager()
+        conjunction = manager.and_all(manager.var(f"x{i}") for i in range(depth))
+        assert manager.dag_size(conjunction) == depth
+        assert manager.not_(manager.not_(conjunction)) == conjunction
+
+    def test_commuted_calls_share_cache_entries(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        assert manager.and_(x, y) == manager.and_(y, x)
+        assert manager.or_(x, y) == manager.or_(y, x)
+        before = len(manager._op_cache)
+        manager.and_(y, x)  # must be a pure cache hit
+        assert len(manager._op_cache) == before
+
+    def test_find_difference(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        assert manager.find_difference(x, x) is None
+        witness = manager.find_difference(manager.and_(x, y), x)
+        assert witness is not None
+        assert witness["x"] is True and witness["y"] is False
+
+
+class TestAllAssignmentsReuse:
+    def test_reuse_yields_the_same_sequence(self):
+        names = ["c", "a", "b"]
+        fresh = list(all_assignments(names))
+        reused = [dict(a) for a in all_assignments(names, reuse=True)]
+        assert fresh == reused
+
+    def test_reuse_mutates_one_dict(self):
+        seen = {id(a) for a in all_assignments(["x", "y"], reuse=True)}
+        assert len(seen) == 1
+
+
+class TestBenchRunner:
+    def test_quick_smoke_and_regression_gate(self, tmp_path):
+        from repro.perf import check_against_baseline, run_benchmarks, write_results
+
+        results = run_benchmarks(names=["bmc_stuck_reset"], quick=True)
+        assert results["bmc_stuck_reset"].seconds >= 0.0
+        baseline = tmp_path / "baseline.json"
+        write_results(results, str(baseline))
+        payload = json.loads(baseline.read_text())
+        assert "bmc_stuck_reset" in payload["scenarios"]
+        # Against its own timings nothing regresses ...
+        assert check_against_baseline(results, str(baseline), tolerance=1000.0) == []
+        # ... and an absurdly tight tolerance flags the scenario.
+        failures = check_against_baseline(results, str(baseline), tolerance=1e-9)
+        assert failures and "bmc_stuck_reset" in failures[0]
+
+    def test_unknown_scenario_rejected(self):
+        from repro.perf import run_benchmarks
+
+        with pytest.raises(ValueError):
+            run_benchmarks(names=["no-such-scenario"])
+
+
+class TestAllSatOrderRegression:
+    def test_all_sat_follows_manager_level_order(self):
+        # Declared order z, y, x is the reverse of the alphabetical order;
+        # enumeration must walk the BDD top-down by level, not by name.
+        manager = BddManager(["z", "y", "x"])
+        f = manager.and_(manager.var("x"), manager.var("y"))
+        models = list(manager.all_sat(f, over=["x", "y", "z"]))
+        assert len(models) == 2
+        assert all(model["x"] and model["y"] for model in models)
+        assert {model["z"] for model in models} == {False, True}
+
+    def test_all_sat_default_support_non_alphabetical(self):
+        manager = BddManager(["q2", "q10"])  # lexicographically q10 < q2
+        f = manager.and_(manager.var("q2"), manager.var("q10"))
+        models = list(manager.all_sat(f))
+        assert models == [{"q2": True, "q10": True}]
