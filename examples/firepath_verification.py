@@ -26,14 +26,20 @@ from repro.spec import build_functional_spec, check_all_properties, symbolic_mos
 from repro.workloads import WorkloadProfile
 
 
-def main() -> None:
+def main(
+    num_registers: int = 4,
+    num_programs: int = 2,
+    program_length: int = 32,
+    max_cycles: int = 600,
+) -> None:
     # A deliberately smaller FirePath-like configuration keeps this example
-    # quick; scale the stage counts and register count up for a stress run.
+    # quick; scale the stage counts and register count up for a stress run
+    # (the keyword arguments shrink it further for smoke-test runs).
     architecture = firepath_like_architecture(
         deep_pipe_stages=5,
         short_pipe_stages=3,
         loadstore_stages=3,
-        num_registers=4,
+        num_registers=num_registers,
     )
     print(architecture.describe())
     print()
@@ -69,9 +75,9 @@ def main() -> None:
     campaign = FaultCampaign(
         architecture,
         functional,
-        profile=WorkloadProfile(length=32),
-        num_programs=2,
-        max_cycles=600,
+        profile=WorkloadProfile(length=program_length),
+        num_programs=num_programs,
+        max_cycles=max_cycles,
     )
     summary = campaign.run_standard_set(reset_cycles=4)
     print("=== Fault-injection campaign (per fault class) ===")

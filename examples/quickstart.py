@@ -26,11 +26,12 @@ from repro.spec import (
 from repro.workloads import WorkloadGenerator
 
 
-def main() -> None:
+def main(num_registers: int = 8) -> None:
     # 1. The paper's Figure 1 architecture: a long pipe (4 stages) and a
     #    short pipe (2 stages) sharing a lock-stepped issue stage, one
     #    completion bus, an 8-register scoreboard and a WAIT input.
-    architecture = example_architecture()
+    #    (``num_registers`` shrinks the scoreboard for smoke-test runs.)
+    architecture = example_architecture(num_registers=num_registers)
     print(architecture.describe())
     print()
     print(architecture.ascii_diagram())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-command CI gate: tier-1 tests followed by the quick benchmark check.
+#
+#   scripts/ci.sh
+#
+# Fails when any test fails or when a quick-size benchmark scenario regresses
+# more than the tolerance against the committed BENCH_QUICK.json baseline.
+# Regenerate the baseline after an intentional performance change with:
+#
+#   PYTHONPATH=src python -m repro bench --quick --repeat 3 --out BENCH_QUICK.json
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== quick benchmark gate =="
+python -m repro bench --quick --check --baseline BENCH_QUICK.json

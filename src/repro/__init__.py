@@ -30,6 +30,7 @@ from . import (
     pipeline,
     sat,
     spec,
+    symbolic,
     synth,
     workloads,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "pipeline",
     "sat",
     "spec",
+    "symbolic",
     "synth",
     "workloads",
     "__version__",

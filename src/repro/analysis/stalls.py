@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..expr.evaluate import eval_expr
+from ..expr.compile import WORD_BITS, compile_bitparallel, iter_set_bits, tail_mask
 from ..pipeline.trace import SimulationTrace
 from ..spec.functional import FunctionalSpec
 
@@ -109,24 +109,72 @@ class StallBreakdown:
         return "\n".join(lines)
 
 
-def classify_stalls(trace: SimulationTrace, spec: FunctionalSpec) -> StallBreakdown:
-    """Classify every stall cycle in a trace against the functional spec."""
+def classify_stalls(
+    trace: SimulationTrace,
+    spec: FunctionalSpec,
+    derivation=None,
+) -> StallBreakdown:
+    """Classify every stall cycle in a trace against the functional spec.
+
+    The justification formulas are compiled once to bit-parallel word code
+    (:mod:`repro.expr.compile`) and evaluated 64 cycles per operation over
+    the trace's packed signal columns — the same bulk path the assertion
+    monitor and the coverage scorer use — instead of one expression-tree
+    walk per stage per cycle.
+
+    Args:
+        trace: the simulation trace to classify.
+        spec: the functional specification providing the stall conditions.
+        derivation: optional :class:`~repro.spec.derivation.DerivationResult`;
+            when given, necessity is judged on its materialized closed-form
+            stall conditions ``¬MOE_i`` over primary inputs only — a stall
+            is then *unnecessary* exactly when the most liberal interlock
+            would have let the stage move, independent of the moe values
+            the (possibly buggy) implementation drove for the other stages.
+            Without it, the per-stage conditions are evaluated on the
+            observed signal sample, as the monitors do.
+    """
     breakdown = StallBreakdown(
         trace_name=f"{trace.architecture_name}/{trace.interlock_name}"
     )
     for clause in spec.clauses:
         breakdown.per_stage[clause.moe] = StageStallStats(moe=clause.moe)
-    for record in trace.cycles:
-        signals = record.signals()
-        for clause in spec.clauses:
-            stats = breakdown.per_stage[clause.moe]
-            stats.total_cycles += 1
-            if record.moe.get(clause.moe, True):
+    num_cycles = len(trace.cycles)
+    if num_cycles == 0:
+        return breakdown
+
+    if derivation is not None:
+        stall_formulas = derivation.stall_expressions()
+    else:
+        stall_formulas = {clause.moe: clause.condition for clause in spec.clauses}
+    compiled = {
+        moe: compile_bitparallel(formula) for moe, formula in stall_formulas.items()
+    }
+    needed: Dict[str, None] = {moe: None for moe in stall_formulas}
+    for code in compiled.values():
+        for name in code.names:
+            needed.setdefault(name, None)
+    # A moe flag the trace never sampled counts as "moving or empty".
+    columns = trace.pack_signal_columns(
+        list(needed), defaults={moe: True for moe in stall_formulas}
+    )
+
+    for moe, code in compiled.items():
+        stats = breakdown.per_stage[moe]
+        stats.total_cycles = num_cycles
+        justified = code.evaluate_packed(columns, num_cycles)
+        moe_column = columns[moe]
+        for word_index, justified_word in enumerate(justified):
+            mask = tail_mask(num_cycles, word_index)
+            stalled = ~moe_column[word_index] & mask
+            if not stalled:
                 continue
-            stats.stall_cycles += 1
-            if eval_expr(clause.condition, signals):
-                stats.necessary_stalls += 1
-            else:
-                stats.unnecessary_stalls += 1
-                stats.unnecessary_cycles.append(record.cycle)
+            stats.stall_cycles += stalled.bit_count()
+            stats.necessary_stalls += (stalled & justified_word).bit_count()
+            unnecessary = stalled & ~justified_word
+            stats.unnecessary_stalls += unnecessary.bit_count()
+            for bit in iter_set_bits(unnecessary):
+                stats.unnecessary_cycles.append(
+                    trace.cycles[word_index * WORD_BITS + bit].cycle
+                )
     return breakdown

@@ -5,6 +5,7 @@ from .generate import (
     AssertionKind,
     assertions_by_kind,
     combined_assertions,
+    derived_assertions,
     functional_assertions,
     performance_assertions,
     testbench_assertions,
@@ -19,6 +20,7 @@ __all__ = [
     "AssertionKind",
     "assertions_by_kind",
     "combined_assertions",
+    "derived_assertions",
     "functional_assertions",
     "performance_assertions",
     "testbench_assertions",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Mapping, Optional
 
-from ..expr.ast import Expr
+from ..expr.ast import Expr, Not, Var
 from ..expr.evaluate import eval_expr
 from ..expr.printer import to_text
 from ..spec.functional import FunctionalSpec
@@ -146,6 +146,67 @@ def testbench_assertions(
 # The name starts with "test", so pytest would otherwise collect this helper
 # as a test function in every test module that imports it.
 testbench_assertions.__test__ = False
+
+
+def derived_assertions(
+    derivation,
+    include_functional: bool = True,
+    include_performance: bool = True,
+) -> List[Assertion]:
+    """Assertions over the *derived* closed forms, from extracted covers.
+
+    Where :func:`testbench_assertions` arms the raw specification clauses
+    (whose conditions mention other stages' moe flags), these arm the
+    fixed-point closed forms ``MOE_i`` over primary inputs only — the exact
+    per-cycle contract of the unique maximum-performance interlock:
+
+    * performance: ``MOE_i(inputs) → moe_i`` — if the most liberal
+      assignment lets the stage move, stalling it is a performance bug;
+    * functional: ``¬MOE_i(inputs) → ¬moe_i`` — if the most liberal
+      assignment stalls the stage, moving it is a hazard.
+
+    The formulas are materialized from the derivation's BDD nodes as
+    minimized ISOP covers (and their cached complement covers for the
+    stall side), so the emitted SVA/PSL and the runtime monitors evaluate
+    compact two-level forms rather than substitution residue.
+
+    Args:
+        derivation: a :class:`~repro.spec.derivation.DerivationResult`.
+        include_functional: emit the hazard half.
+        include_performance: emit the unnecessary-stall half.
+    """
+    out: List[Assertion] = []
+    moe_covers = derivation.moe_expressions
+    stall_covers = derivation.stall_expressions()
+    for moe in moe_covers:
+        tag = _sanitise(moe)
+        if include_performance:
+            out.append(
+                Assertion(
+                    name=f"perf_closed_{tag}",
+                    kind=AssertionKind.PERFORMANCE,
+                    moe=moe,
+                    formula=moe_covers[moe].implies(Var(moe)),
+                    description=(
+                        f"{moe}: the stage must move whenever the derived most "
+                        "liberal assignment lets it move"
+                    ),
+                )
+            )
+        if include_functional:
+            out.append(
+                Assertion(
+                    name=f"func_closed_{tag}",
+                    kind=AssertionKind.FUNCTIONAL,
+                    moe=moe,
+                    formula=stall_covers[moe].implies(Not(Var(moe))),
+                    description=(
+                        f"{moe}: the stage must stall whenever the derived most "
+                        "liberal assignment requires a stall"
+                    ),
+                )
+            )
+    return out
 
 
 def assertions_by_kind(assertions: List[Assertion]) -> Dict[AssertionKind, List[Assertion]]:

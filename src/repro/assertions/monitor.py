@@ -13,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
-from ..expr.compile import WORD_BITS, CompiledExpr, compile_bitparallel
+from ..expr.compile import (
+    WORD_BITS,
+    CompiledExpr,
+    compile_bitparallel,
+    iter_set_bits,
+    tail_mask,
+)
 from ..expr.evaluate import UnboundVariableError
 from ..pipeline.trace import CycleRecord, SimulationTrace
 from .generate import Assertion, AssertionKind
@@ -179,16 +185,13 @@ class AssertionMonitor:
         results = [c.evaluate_packed(columns, num_cycles) for c in compiled]
         num_words = len(results[0]) if results else 0
         for word_index in range(num_words):
-            remaining = num_cycles - word_index * WORD_BITS
-            mask = (1 << remaining) - 1 if remaining < WORD_BITS else (1 << WORD_BITS) - 1
+            mask = tail_mask(num_cycles, word_index)
             failed = 0
             for result in results:
                 failed |= (~result[word_index]) & mask
             if not failed:
                 continue
-            while failed:
-                bit = (failed & -failed).bit_length() - 1
-                failed &= failed - 1
+            for bit in iter_set_bits(failed):
                 record = trace.cycles[word_index * WORD_BITS + bit]
                 signals = record.signals()
                 for assertion, result in zip(self.assertions, results):

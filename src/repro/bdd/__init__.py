@@ -6,6 +6,8 @@ from .ordering import (
     interleaved_order,
     occurrence_order,
     order_from_exprs,
+    register_index_of,
+    register_interleaved_order,
     stage_major_order,
 )
 
@@ -18,5 +20,7 @@ __all__ = [
     "interleaved_order",
     "occurrence_order",
     "order_from_exprs",
+    "register_index_of",
+    "register_interleaved_order",
     "stage_major_order",
 ]

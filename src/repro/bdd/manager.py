@@ -27,12 +27,22 @@ without building the intermediate conjunction.
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 FALSE_NODE = 0
 TRUE_NODE = 1
 
 _TERMINAL_LEVEL = 2**31
+
+
+class CoverBudgetExceeded(RuntimeError):
+    """Raised by :meth:`BddManager.isop` when a cover outgrows ``max_cubes``.
+
+    Lets callers race the direct and the complemented cover of a function
+    against each other without ever paying for the exponential side.
+    """
 
 
 class BddManager:
@@ -55,6 +65,8 @@ class BddManager:
         # Interned quantification variable sets: frozenset of levels -> key.
         self._quant_sets: Dict[frozenset, int] = {}
         self._quant_levels: List[Tuple[frozenset, int]] = []
+        # ISOP (irredundant sum-of-products) memo: (lower, upper) -> (node, cubes).
+        self._isop_cache: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
         self._var_levels: Dict[str, int] = {}
         self._level_vars: List[str] = []
         if variable_order is not None:
@@ -701,6 +713,222 @@ class BddManager:
             return result
 
         return rec(f)
+
+    # -- generalized cofactors and covers ----------------------------------------
+
+    @contextmanager
+    def _level_bounded_recursion(self):
+        """Lift the interpreter recursion limit to the depth the order needs.
+
+        The operation kernel is iterative (PR 1) and never touches this,
+        but the cover/cofactor algorithms below are clearest recursive and
+        descend at most one frame per variable level — a *bounded* depth,
+        unlike the operand-shaped recursion the kernel eliminated.  Wide
+        orders (hundreds of registers expand to thousands of one-hot
+        levels) would still trip CPython's default 1000-frame limit, so the
+        limit is raised to cover the declared order and restored on exit.
+        """
+        depth = 0
+        frame = sys._getframe()
+        while frame is not None:
+            depth += 1
+            frame = frame.f_back
+        needed = depth + 2 * len(self._level_vars) + 512
+        previous = sys.getrecursionlimit()
+        if previous >= needed:
+            yield
+            return
+        sys.setrecursionlimit(needed)
+        try:
+            yield
+        finally:
+            sys.setrecursionlimit(previous)
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        """The (low, high) cofactors of ``node`` with respect to ``level``."""
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def constrain(self, f: int, care: int) -> int:
+        """The Coudert–Madre generalized cofactor ``f ↓ care`` (*constrain*).
+
+        The result agrees with ``f`` everywhere ``care`` holds; outside the
+        care set its value is chosen so the result is canonical in ``(f,
+        care)``.  Useful as a caching-friendly image operator; for pure
+        size reduction prefer :meth:`restrict_with`, which never pulls
+        variables of ``care`` into the result that ``f`` does not mention.
+        """
+        if care == FALSE_NODE:
+            raise ValueError("constrain against an empty care set is undefined")
+        cache = self._op_cache
+
+        def rec(f: int, c: int) -> int:
+            if c == TRUE_NODE or f <= TRUE_NODE:
+                return f
+            if f == c:
+                return TRUE_NODE
+            if self._not_cache.get(f) == c:
+                return FALSE_NODE
+            key = ("constrain", f, c)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            level = min(self._level[f], self._level[c])
+            c0, c1 = self._cofactors(c, level)
+            f0, f1 = self._cofactors(f, level)
+            if c1 == FALSE_NODE:
+                result = rec(f0, c0)
+            elif c0 == FALSE_NODE:
+                result = rec(f1, c1)
+            else:
+                result = self._make_node(level, rec(f0, c0), rec(f1, c1))
+            cache[key] = result
+            return result
+
+        with self._level_bounded_recursion():
+            return rec(f, care)
+
+    def restrict_with(self, f: int, care: int) -> int:
+        """The Coudert–Madre *restrict* operator: simplify ``f`` on the care set.
+
+        Like :meth:`constrain` the result agrees with ``f`` wherever
+        ``care`` holds, but care-set variables that ``f`` does not depend on
+        are quantified away instead of copied into the result, so the
+        output never grows support beyond ``f``'s.  The printers use it to
+        shrink a function against environment assumptions before
+        materializing a cover.
+        """
+        if care == FALSE_NODE:
+            raise ValueError("restrict against an empty care set is undefined")
+        cache = self._op_cache
+
+        def rec(f: int, c: int) -> int:
+            if c == TRUE_NODE or f <= TRUE_NODE:
+                return f
+            if f == c:
+                return TRUE_NODE
+            if self._not_cache.get(f) == c:
+                return FALSE_NODE
+            key = ("restrict", f, c)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            level_f = self._level[f]
+            level_c = self._level[c]
+            if level_c < level_f:
+                # f does not test this care variable: drop it existentially.
+                result = rec(f, self._binary("or", self._low[c], self._high[c]))
+            else:
+                c0, c1 = self._cofactors(c, level_f)
+                if c1 == FALSE_NODE:
+                    result = rec(self._low[f], c0)
+                elif c0 == FALSE_NODE:
+                    result = rec(self._high[f], c1)
+                else:
+                    result = self._make_node(
+                        level_f, rec(self._low[f], c0), rec(self._high[f], c1)
+                    )
+            cache[key] = result
+            return result
+
+        with self._level_bounded_recursion():
+            return rec(f, care)
+
+    def isop(
+        self, lower: int, upper: int, max_cubes: Optional[int] = None
+    ) -> Tuple[int, tuple]:
+        """An irredundant sum-of-products between ``lower`` and ``upper``.
+
+        Minato's ISOP algorithm: returns ``(node, cubes)`` where ``cubes``
+        is a tuple of product terms — each a tuple of ``(level, polarity)``
+        literals — whose disjunction denotes ``node``, with ``lower ≤ node ≤
+        upper`` (callers must ensure ``lower`` implies ``upper``; pass the
+        same node twice for an exact cover).  The cover is irredundant: no
+        cube or literal can be dropped without uncovering part of ``lower``.
+        Both the node and the cube list are memoised, so materializing the
+        same function twice is free.
+
+        ``max_cubes`` bounds the size of any intermediate cover; when
+        exceeded :class:`CoverBudgetExceeded` is raised.  A mostly-true
+        function has an exponential direct cover but a compact complement
+        cover (or vice versa); the budget lets a caller try both sides
+        without risking the exponential one.  Sub-results completed before
+        an abort stay cached, so a retry (or the other polarity) reuses
+        them.
+        """
+        cache = self._isop_cache
+
+        def rec(lo: int, up: int) -> Tuple[int, tuple]:
+            if lo == FALSE_NODE:
+                return FALSE_NODE, ()
+            if up == TRUE_NODE:
+                return TRUE_NODE, ((),)
+            key = (lo, up)
+            cached = cache.get(key)
+            if cached is not None:
+                if max_cubes is not None and len(cached[1]) > max_cubes:
+                    raise CoverBudgetExceeded(
+                        f"cover exceeds {max_cubes} cubes"
+                    )
+                return cached
+            level = min(self._level[lo], self._level[up])
+            lo0, lo1 = self._cofactors(lo, level)
+            up0, up1 = self._cofactors(up, level)
+            # Cubes that must contain the negative literal of this variable
+            # cover the part of the low on-set excluded from the high bound,
+            # and dually for the positive literal.
+            node0, cubes0 = rec(self._binary("and", lo0, self.not_(up1)), up0)
+            node1, cubes1 = rec(self._binary("and", lo1, self.not_(up0)), up1)
+            # Whatever the literal cubes left uncovered may be covered by
+            # cubes that do not mention the variable at all.
+            rest_lower = self._binary(
+                "or",
+                self._binary("and", lo0, self.not_(node0)),
+                self._binary("and", lo1, self.not_(node1)),
+            )
+            node_d, cubes_d = rec(rest_lower, self._binary("and", up0, up1))
+            node = self._binary(
+                "or",
+                self._binary(
+                    "or",
+                    self._binary("and", self._make_node(level, TRUE_NODE, FALSE_NODE), node0),
+                    self._binary("and", self._make_node(level, FALSE_NODE, TRUE_NODE), node1),
+                ),
+                node_d,
+            )
+            cubes = (
+                tuple(((level, False),) + cube for cube in cubes0)
+                + tuple(((level, True),) + cube for cube in cubes1)
+                + cubes_d
+            )
+            if max_cubes is not None and len(cubes) > max_cubes:
+                raise CoverBudgetExceeded(f"cover exceeds {max_cubes} cubes")
+            result = (node, cubes)
+            cache[key] = result
+            return result
+
+        with self._level_bounded_recursion():
+            return rec(lower, upper)
+
+    def isop_cover(self, f: int, care: Optional[int] = None) -> List[Dict[str, bool]]:
+        """An irredundant SOP cover of ``f`` as name-keyed cubes.
+
+        With a ``care`` set the cover only needs to match ``f`` on the care
+        set (assignments outside it are don't-cares), which typically gives
+        a smaller cover; the bounds are then ``f ∧ care ≤ cover ≤ f ∨
+        ¬care``.
+        """
+        if care is None:
+            lower = upper = f
+        else:
+            lower = self._binary("and", f, care)
+            upper = self._binary("or", f, self.not_(care))
+        _, cubes = self.isop(lower, upper)
+        return [
+            {self._level_vars[level]: polarity for level, polarity in cube}
+            for cube in cubes
+        ]
 
     def _quant_key(self, names: Iterable[str]) -> Optional[int]:
         levels = frozenset(self.declare(name) for name in names)

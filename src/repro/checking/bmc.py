@@ -57,6 +57,22 @@ def timed_name(signal: str, cycle: int) -> str:
     return f"{signal}@{cycle}"
 
 
+def _as_expr(obligation) -> Expr:
+    """Coerce an obligation to an expression.
+
+    The unroller works on per-cycle *renamed copies* of each formula, which
+    is an expression-level operation; a
+    :class:`~repro.symbolic.SymbolicFunction` obligation therefore
+    materializes here — once, as its minimized ISOP cover (cached in its
+    context) — and every timed copy is a rename of that small cover instead
+    of the raw substitution residue the expression pipeline used to carry.
+    """
+    to_expr = getattr(obligation, "to_expr", None)
+    if to_expr is not None:
+        return to_expr()
+    return obligation
+
+
 def _timed(expr: Expr, cycle: int) -> Expr:
     """Rename every variable of ``expr`` to its timed copy at ``cycle``."""
     mapping = {name: timed_name(name, cycle) for name in expr.variables()}
@@ -64,11 +80,28 @@ def _timed(expr: Expr, cycle: int) -> Expr:
 
 
 class CombinationalModel:
-    """A stateless interlock model: the same moe equations every cycle."""
+    """A stateless interlock model: the same moe equations every cycle.
+
+    Accepts plain expressions or
+    :class:`~repro.symbolic.SymbolicFunction` closed forms per moe flag;
+    symbolic obligations materialize once as minimized covers.
+    """
 
     def __init__(self, expressions: Mapping[str, Expr], name: str = "combinational"):
         self.name = name
-        self._expressions = dict(expressions)
+        self._expressions = {
+            moe: _as_expr(expression) for moe, expression in expressions.items()
+        }
+
+    @classmethod
+    def from_derivation(cls, derivation, name: Optional[str] = None) -> "CombinationalModel":
+        """The model of a fixed-point derivation's closed forms."""
+        source = (
+            derivation.moe_functions
+            if derivation.moe_functions is not None
+            else derivation.moe_expressions
+        )
+        return cls(source, name=name or f"derived({derivation.spec.name})")
 
     def moe_flags(self) -> List[str]:
         """The moe flags the model drives."""
@@ -226,7 +259,7 @@ class BoundedModelChecker:
         if backend not in ("bdd", "sat"):
             raise ValueError(f"backend must be 'bdd' or 'sat', got {backend!r}")
         self.spec = spec
-        self.environment = environment
+        self.environment = _as_expr(environment) if environment is not None else None
         self.stop_at_first = stop_at_first
         self.backend = backend
         # One shared context across all cycles and claims: the timed copies

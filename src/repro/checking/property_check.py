@@ -29,6 +29,7 @@ from ..pipeline.structure import Architecture
 from ..sat.interface import check_valid
 from ..spec.derivation import symbolic_most_liberal
 from ..spec.functional import FunctionalSpec
+from ..symbolic import SymbolicFunction
 from .environment import environment_formula
 
 
@@ -125,7 +126,26 @@ class PropertyChecker:
             self._derivation = symbolic_most_liberal(self.spec)
         return self._derivation.moe_expressions
 
-    def _prove(self, claim: Expr) -> (bool, Optional[Dict[str, bool]]):
+    def _prove(self, claim) -> (bool, Optional[Dict[str, bool]]):
+        """Prove one obligation under the environment assumptions.
+
+        ``claim`` may be an :class:`~repro.expr.ast.Expr` or a
+        :class:`~repro.symbolic.SymbolicFunction`.  A symbolic obligation is
+        decided in *its* context — the environment formula is lifted into
+        that context (cached there across claims) and no expression is ever
+        materialized; only the SAT backend needs a materialized form.
+        """
+        if isinstance(claim, SymbolicFunction):
+            if self.backend == "bdd":
+                manager = claim.context.manager
+                node = claim.node
+                if self.environment is not None:
+                    environment_node = claim.context.lift(self.environment).node
+                    node = manager.implies(environment_node, node)
+                if manager.is_true(node):
+                    return True, None
+                return False, manager.pick_one(manager.not_(node))
+            claim = claim.to_expr()
         if self.backend == "bdd":
             manager = self._context.manager
             node = self._context.compile(claim)
@@ -242,6 +262,36 @@ class PropertyChecker:
             report.results.append(
                 PropertyResult(
                     name=f"equivalence::{moe}", moe=moe, holds=holds, counterexample=counterexample
+                )
+            )
+        return report
+
+    def check_obligations(
+        self,
+        obligations: Mapping[str, object],
+        name: str = "obligation",
+    ) -> CheckReport:
+        """Prove a set of per-stage obligations handed over as functions.
+
+        Layers that already hold canonical BDD artefacts — the derivation's
+        per-stage claims, refinement conditions built with
+        :class:`~repro.symbolic.SymbolicFunction` arithmetic — pass them
+        directly, keyed by moe flag; plain expressions are accepted too.
+        With the BDD backend a symbolic obligation is decided in its own
+        context under the checker's environment assumptions, without
+        materializing any expression.
+        """
+        report = CheckReport(
+            implementation=name, spec_name=self.spec.name, backend=self.backend
+        )
+        for moe, claim in obligations.items():
+            holds, counterexample = self._prove(claim)
+            report.results.append(
+                PropertyResult(
+                    name=f"{name}::{moe}",
+                    moe=moe,
+                    holds=holds,
+                    counterexample=counterexample,
                 )
             )
         return report

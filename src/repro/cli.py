@@ -144,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     derive = subparsers.add_parser("derive", help="print the most liberal moe closed forms")
     _add_source_arguments(derive)
+    derive.add_argument(
+        "--backend",
+        choices=["bdd", "expr"],
+        default="bdd",
+        help="fixed-point engine: 'bdd' iterates on canonical BDD nodes and "
+             "prints minimized ISOP covers (default); 'expr' is the DEPRECATED "
+             "legacy expression pipeline, kept only for A/B debugging — it "
+             "re-flattens substitution residue each step and cannot complete "
+             "the largest architectures",
+    )
 
     props = subparsers.add_parser(
         "check-properties", help="verify the Section 3.1 preconditions of the method"
@@ -272,7 +282,13 @@ def _cmd_spec(args: argparse.Namespace, out: TextIO) -> int:
 
 def _cmd_derive(args: argparse.Namespace, out: TextIO) -> int:
     _, functional = _resolve(args)
-    out.write(symbolic_most_liberal(functional).describe() + "\n")
+    backend = getattr(args, "backend", "bdd")
+    if backend == "expr":
+        out.write(
+            "note: the 'expr' backend is deprecated and kept for A/B debugging; "
+            "the default 'bdd' backend is exact, faster and scales further\n"
+        )
+    out.write(symbolic_most_liberal(functional, backend=backend).describe() + "\n")
     return 0
 
 
@@ -340,7 +356,8 @@ def _cmd_check(args: argparse.Namespace, out: TextIO) -> int:
 def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
     architecture = load_architecture(args.arch)
     functional = build_functional_spec(architecture)
-    interlock = ClosedFormInterlock.from_derivation(symbolic_most_liberal(functional))
+    derivation = symbolic_most_liberal(functional)
+    interlock = ClosedFormInterlock.from_derivation(derivation)
     profile = _PROFILES[args.profile]
     profile = WorkloadProfile(
         length=args.length,
@@ -355,7 +372,7 @@ def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
 
     out.write(trace.describe() + "\n")
     out.write(report.describe() + "\n")
-    breakdown = classify_stalls(trace, functional)
+    breakdown = classify_stalls(trace, functional, derivation=derivation)
     out.write(breakdown.describe() + "\n")
     if args.coverage:
         out.write(coverage_of(functional, [trace]).describe() + "\n")

@@ -29,12 +29,42 @@ Three layers of API:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .ast import And, Const, Expr, Iff, Implies, Ite, Not, Or, Var
 
 WORD_BITS = 64
 FULL_MASK = (1 << WORD_BITS) - 1
+
+
+def tail_mask(num_rows: int, word_index: int) -> int:
+    """Mask of the populated lanes in one word of a packed column.
+
+    Every consumer of packed columns (the assertion monitor, the stall
+    classifier, the exhaustive sweeps) needs the same tail handling: full
+    words carry 64 rows, the last word only ``num_rows % 64``.
+    """
+    remaining = num_rows - word_index * WORD_BITS
+    if remaining >= WORD_BITS:
+        return FULL_MASK
+    return (1 << remaining) - 1
+
+
+def iter_set_bits(word: int) -> Iterator[int]:
+    """The indexes of the set bits of a word, ascending."""
+    while word:
+        yield (word & -word).bit_length() - 1
+        word &= word - 1
 
 # PATTERNS[i]: the value column of enumeration variable i (i < 6) within one
 # 64-assignment word — assignment k has variable i set iff bit i of k is set.
@@ -85,8 +115,7 @@ class CompiledExpr:
         num_words = (num_rows + WORD_BITS - 1) // WORD_BITS
         out: List[int] = []
         for word_index in range(num_words):
-            remaining = num_rows - word_index * WORD_BITS
-            mask = FULL_MASK if remaining >= WORD_BITS else (1 << remaining) - 1
+            mask = tail_mask(num_rows, word_index)
             values = [column[word_index] for column in series]
             out.append(func(values, mask) & mask)
         return out
@@ -236,7 +265,7 @@ def bitparallel_find_falsifying(expr: Expr) -> Optional[Dict[str, bool]]:
     for word_index, result, mask in _sweep(expr):
         failing = (~result) & mask
         if failing:
-            bit = (failing & -failing).bit_length() - 1
+            bit = next(iter_set_bits(failing))
             index = word_index * WORD_BITS + bit
             return {
                 name: bool((index >> i) & 1) for i, name in enumerate(compiled_names)

@@ -98,6 +98,29 @@ def _run_derive_firepath(spec):
     return symbolic_most_liberal(spec)
 
 
+def _setup_derive_firepath_full(quick: bool):
+    # The FULL 16-register FirePath — the wall PR 1 left standing: the
+    # expression-side lock-step candidates never finished flattening their
+    # n-ary substitution residue, and the concatenated variable order made
+    # the issue conditions' BDDs exponential in the register count (~1.7M
+    # nodes each).  The SymbolicFunction derivation — pure BDD iteration
+    # over a register-interleaved order — finishes in milliseconds, so the
+    # quick and full sizes deliberately coincide.
+    arch = firepath_like_architecture(num_registers=16)
+    return build_functional_spec(arch)
+
+
+def _run_derive_firepath_full(spec):
+    derivation = symbolic_most_liberal(spec)
+    # Materialize the full artifact chain the downstream consumers need:
+    # minimized ISOP covers for every closed form and the cached negations
+    # (the stall covers) — the timing includes extraction, not just the
+    # fixed point.
+    derivation.moe_expressions
+    derivation.stall_expressions()
+    return derivation
+
+
 def _setup_taut_enum(quick: bool):
     # A genuine tautology over the control inputs: the derived most liberal
     # moe assignment substituted back into the functional specification.
@@ -216,6 +239,15 @@ _SCENARIOS: List[Scenario] = [
         "architecture (6 pipes, 8-register scoreboard, ~157 control inputs)",
         setup=_setup_derive_firepath,
         run=_run_derive_firepath,
+        meta={"kind": "symbolic-derivation"},
+    ),
+    Scenario(
+        name="derive_firepath_full",
+        description="symbolic fixed-point derivation + ISOP materialization, FULL "
+        "16-register FirePath-scale architecture (26 stages, 277 control inputs; "
+        "previously intractable in expression space)",
+        setup=_setup_derive_firepath_full,
+        run=_run_derive_firepath_full,
         meta={"kind": "symbolic-derivation"},
     ),
     Scenario(

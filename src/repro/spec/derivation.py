@@ -14,26 +14,40 @@ This module computes that fixed point in two ways:
   calls this every cycle.
 
 * **symbolically** (:func:`symbolic_most_liberal`) — producing, for every
-  stage, a closed-form expression of ``MOE_i`` over the primary inputs
-  only.  This is what the assertion generator and the RTL synthesiser
-  consume.
+  stage, a closed form of ``MOE_i`` over the primary inputs only.  This is
+  what the assertion generator, the property checkers and the RTL
+  synthesiser consume.
 
 Both start from the all-true vector (the most liberal candidate) and apply
 ``MOE := ¬F(¬MOE)`` until convergence; monotonicity of ``F`` makes the
 iteration a descending chain on a finite lattice, so it terminates, and the
 greatest fixed point it reaches is exactly the paper's ``MOE``.
+
+The symbolic derivation iterates **purely in BDD space**: every stall
+condition is compiled once against a register-interleaved variable order,
+and each step is one memoised simultaneous composition plus a cached
+negation.  The result is a :class:`DerivationResult` holding
+:class:`~repro.symbolic.SymbolicFunction` closed forms; human-readable
+expressions are materialized lazily as minimized ISOP covers only when a
+printer, HDL backend or monitor asks for them.  (The previous
+implementation kept an expression-tree candidate "in lock step" with the
+BDD side; the substitution residue grew super-linearly and the full
+16-register FirePath derivation never finished flattening its n-ary
+operands.  That legacy pipeline remains reachable as ``backend="expr"``
+for A/B debugging and is deprecated.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..bdd.expr_to_bdd import ExprBddContext
+from ..bdd.ordering import register_interleaved_order
 from ..expr.ast import Expr, Not, TRUE, Var
 from ..expr.evaluate import eval_expr
 from ..expr.printer import to_text
 from ..expr.transform import simplify, substitute
+from ..symbolic import SymbolicContext, SymbolicFunction
 from .functional import FunctionalSpec, SpecificationError
 from .performance import CombinedSpec, PerformanceSpec
 
@@ -46,44 +60,148 @@ class DerivationError(RuntimeError):
     """
 
 
-@dataclass
 class DerivationResult:
     """Outcome of a symbolic fixed-point derivation.
 
+    The primary payload is :attr:`moe_functions` — one
+    :class:`~repro.symbolic.SymbolicFunction` per moe flag, all sharing one
+    :class:`~repro.symbolic.SymbolicContext` — which downstream layers
+    (property checks, equivalence, BMC obligations, synthesis) consume
+    directly as canonical BDD nodes.  :attr:`moe_expressions` is a *view*:
+    the closed forms materialized lazily as minimized ISOP covers, for
+    printers, HDL emitters and per-cycle evaluators; materialization is
+    cached, so touching it twice costs nothing extra.
+
+    Results produced by expression-level passes (the legacy ``expr``
+    backend, the synthesis optimiser) carry expressions only and no
+    functions.
+
     Attributes:
         spec: the functional specification the derivation started from.
-        moe_expressions: closed-form ``MOE_i`` per moe flag, over primary
-            inputs only.
         iterations: number of global iterations until convergence.
         feed_forward: whether the moe dependency graph was acyclic (if so
             the iteration converges in one pass over a topological order).
         bdd_sizes: per-flag BDD node counts of the closed forms, a rough
             complexity measure reported by the scale benchmarks.
+        moe_functions: per-flag closed forms as SymbolicFunctions, or None
+            for expression-backed results.
     """
 
-    spec: FunctionalSpec
-    moe_expressions: Dict[str, Expr]
-    iterations: int
-    feed_forward: bool
-    bdd_sizes: Dict[str, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        spec: FunctionalSpec,
+        iterations: int,
+        feed_forward: bool,
+        moe_functions: Optional[Dict[str, SymbolicFunction]] = None,
+        moe_expressions: Optional[Dict[str, Expr]] = None,
+        bdd_sizes: Optional[Dict[str, int]] = None,
+    ):
+        if moe_functions is None and moe_expressions is None:
+            raise ValueError("a derivation result needs functions or expressions")
+        self.spec = spec
+        self.iterations = iterations
+        self.feed_forward = feed_forward
+        self.moe_functions = moe_functions
+        # Kept by reference: the synthesis optimiser hands in a mapping it
+        # fills per flag after constructing the result object.
+        self._moe_expressions = moe_expressions
+        if bdd_sizes is None and moe_functions is not None:
+            bdd_sizes = {
+                moe: function.dag_size() for moe, function in moe_functions.items()
+            }
+        self.bdd_sizes: Dict[str, int] = dict(bdd_sizes or {})
+        self._stall_expressions: Optional[Dict[str, Expr]] = None
 
-    def stall_expressions(self) -> Dict[str, Expr]:
-        """Closed-form stall conditions ``¬MOE_i`` per stage."""
-        return {moe: simplify(Not(expr)) for moe, expr in self.moe_expressions.items()}
+    # -- the symbolic side -------------------------------------------------------
+
+    @property
+    def context(self) -> Optional[SymbolicContext]:
+        """The shared symbolic context, or None for expression-backed results."""
+        if self.moe_functions is None:
+            return None
+        return next(iter(self.moe_functions.values())).context
+
+    def moe_function(self, moe: str) -> SymbolicFunction:
+        """The closed form of one flag as a SymbolicFunction."""
+        if self.moe_functions is None:
+            raise KeyError(
+                "this derivation result is expression-backed and carries no "
+                "symbolic functions (legacy 'expr' backend or optimiser output)"
+            )
+        return self.moe_functions[moe]
+
+    def stall_functions(self) -> Dict[str, SymbolicFunction]:
+        """Closed-form stall conditions ``¬MOE_i`` as SymbolicFunctions.
+
+        Negation is a cached involution in the BDD kernel, so this is free.
+        """
+        if self.moe_functions is None:
+            raise KeyError(
+                "this derivation result is expression-backed and carries no "
+                "symbolic functions (legacy 'expr' backend or optimiser output)"
+            )
+        return {moe: ~function for moe, function in self.moe_functions.items()}
+
+    # -- materialized views ------------------------------------------------------
+
+    @property
+    def moe_expressions(self) -> Dict[str, Expr]:
+        """Closed-form ``MOE_i`` per flag, materialized lazily and cached.
+
+        Function-backed results materialize each flag as a minimized
+        irredundant-SOP cover of its BDD node (not the substitution residue
+        the iteration would have produced at expression level).
+        """
+        if self._moe_expressions is None:
+            self._moe_expressions = {
+                moe: function.to_expr()
+                for moe, function in self.moe_functions.items()
+            }
+        # A copy, like stall_expressions(): callers that rewrite the mapping
+        # must not corrupt the cached closed forms other consumers read.
+        return dict(self._moe_expressions)
 
     def moe_expression(self, moe: str) -> Expr:
-        """The closed form of one flag."""
+        """The materialized closed form of one flag."""
         return self.moe_expressions[moe]
+
+    def stall_expressions(self) -> Dict[str, Expr]:
+        """Closed-form stall conditions ``¬MOE_i`` per stage (memoised).
+
+        Function-backed results extract a minimized cover of the *negated*
+        node — usually smaller than ``Not(cover)`` — and the result is
+        cached, so monitors and reports can call this per trace without
+        re-simplifying anything.
+        """
+        if self._stall_expressions is None:
+            if self.moe_functions is not None:
+                self._stall_expressions = {
+                    moe: (~function).to_expr()
+                    for moe, function in self.moe_functions.items()
+                }
+            else:
+                self._stall_expressions = {
+                    moe: simplify(Not(expr))
+                    for moe, expr in self.moe_expressions.items()
+                }
+        return dict(self._stall_expressions)
+
+    # -- evaluation and rendering ------------------------------------------------
 
     def evaluate(self, input_valuation: Mapping[str, bool]) -> Dict[str, bool]:
         """Evaluate every closed form under a concrete input valuation."""
+        if self.moe_functions is not None:
+            return {
+                moe: function.evaluate(input_valuation)
+                for moe, function in self.moe_functions.items()
+            }
         return {
             moe: eval_expr(expr, input_valuation)
             for moe, expr in self.moe_expressions.items()
         }
 
     def describe(self) -> str:
-        """Human-readable listing of the closed forms."""
+        """Human-readable listing of the (materialized) closed forms."""
         lines = [
             f"Maximum-performance moe assignment for {self.spec.name} "
             f"(converged after {self.iterations} iteration(s)):"
@@ -130,31 +248,123 @@ def concrete_most_liberal(
     )
 
 
+def derivation_order(spec: FunctionalSpec) -> List[str]:
+    """The BDD variable order the symbolic derivation compiles against.
+
+    Moe flags go first — the candidates they are replaced by range over
+    primary inputs only, so composition then never lifts a variable above
+    its substitution point — followed by the primary inputs with
+    register-indexed signals interleaved per register (see
+    :func:`repro.bdd.ordering.register_interleaved_order`; the concatenated
+    order is exponential in the scoreboard width).
+    """
+    return list(spec.moe_flags()) + register_interleaved_order(spec.input_signals())
+
+
 def symbolic_most_liberal(
     spec: FunctionalSpec,
     max_iterations: Optional[int] = None,
     simplify_result: bool = True,
+    backend: str = "bdd",
+    context: Optional[SymbolicContext] = None,
 ) -> DerivationResult:
     """Closed-form most liberal moe assignment over the primary inputs.
 
-    The iteration keeps, for every stage, an expression of the current
-    candidate ``MOE_i`` in terms of primary inputs only; each step
-    substitutes the candidates into the stall conditions and negates.
-    Convergence is detected semantically with BDD equivalence so that
-    syntactic noise from substitution cannot mask a fixed point.
+    The fixed point is iterated purely in BDD space: every stall condition
+    is compiled once, each step substitutes the candidate moe functions
+    with a (memoised) simultaneous composition and negates through the
+    kernel's involution cache, and convergence is a pointer comparison.
+    The returned closed forms are :class:`~repro.symbolic.SymbolicFunction`
+    objects; expressions are materialized lazily as minimized ISOP covers.
+
+    Args:
+        spec: the functional specification to derive from.
+        max_iterations: iteration bound (default: number of flags + 2).
+        simplify_result: legacy-backend only — structurally simplify the
+            per-step expression candidates.
+        backend: ``"bdd"`` (default) or ``"expr"``.  The expression backend
+            is the pre-SymbolicFunction pipeline that carries an expression
+            candidate in lock step with the BDD side; it is kept reachable
+            for A/B debugging (``repro derive --backend expr``) and is
+            **deprecated** — it re-flattens n-ary substitution residue each
+            step and cannot complete the full 16-register FirePath
+            derivation.
+        context: an existing :class:`~repro.symbolic.SymbolicContext` to
+            derive into (so several specifications can be compared by
+            pointer in one shared unique table).  By default a fresh
+            context with the register-interleaved order is created.
+    """
+    if backend not in ("bdd", "expr"):
+        raise ValueError(f"backend must be 'bdd' or 'expr', got {backend!r}")
+    if backend == "expr":
+        return _symbolic_most_liberal_expr(spec, max_iterations, simplify_result)
+
+    moe_flags = spec.moe_flags()
+    limit = max_iterations if max_iterations is not None else len(moe_flags) + 2
+    if context is None:
+        context = SymbolicContext(derivation_order(spec))
+    manager = context.manager
+    condition_nodes: Dict[str, int] = {
+        clause.moe: context.lift(clause.condition).node for clause in spec.clauses
+    }
+    current: Dict[str, int] = {moe: manager.true() for moe in moe_flags}
+
+    iterations = 0
+    for _ in range(limit):
+        iterations += 1
+        changed = False
+        next_nodes: Dict[str, int] = {}
+        for clause in spec.clauses:
+            node = manager.not_(
+                manager.compose_many(condition_nodes[clause.moe], current)
+            )
+            next_nodes[clause.moe] = node
+            if node != current[clause.moe]:
+                changed = True
+        current = next_nodes
+        if not changed:
+            break
+    else:
+        raise DerivationError(
+            f"symbolic fixed-point iteration did not converge within {limit} iterations"
+        )
+
+    # Confirm the fixed point really only mentions primary inputs.
+    input_scope = tuple(spec.input_signals())
+    input_set = set(input_scope)
+    for moe, node in current.items():
+        leftover = manager.support(node) - input_set
+        if leftover:
+            raise DerivationError(
+                f"closed form for {moe} still refers to {sorted(leftover)}; "
+                "the specification's moe dependency structure is malformed"
+            )
+
+    moe_functions = {
+        moe: context.function(node, scope=input_scope) for moe, node in current.items()
+    }
+    return DerivationResult(
+        spec=spec,
+        iterations=iterations,
+        feed_forward=spec.is_feed_forward(),
+        moe_functions=moe_functions,
+    )
+
+
+def _symbolic_most_liberal_expr(
+    spec: FunctionalSpec,
+    max_iterations: Optional[int],
+    simplify_result: bool,
+) -> DerivationResult:
+    """Deprecated expression-level pipeline (kept for A/B debugging).
+
+    Keeps an expression candidate in lock step with the BDD side; each step
+    substitutes the candidates into the stall conditions and negates, with
+    convergence detected semantically on the BDD side.  The substitution
+    residue grows super-linearly with pipeline depth and register count.
     """
     moe_flags = spec.moe_flags()
     limit = max_iterations if max_iterations is not None else len(moe_flags) + 2
-    # The fixed point is iterated in BDD space: every stall condition is
-    # compiled once, and each step substitutes the candidate moe functions
-    # with a (memoised) simultaneous composition instead of re-compiling the
-    # ever-growing substituted expression trees.  The expression-level
-    # candidates are kept in lock step purely as the human-readable output;
-    # composition and substitution compute the same function, so the
-    # expression and BDD sides converge at the same iteration.  The moe
-    # flags are declared at the top of the variable order: the candidates
-    # they are replaced by range over primary inputs only, so composition
-    # then never lifts a variable above its substitution point.
     context = ExprBddContext(list(moe_flags) + list(spec.input_signals()))
     manager = context.manager
     condition_nodes: Dict[str, int] = {
@@ -188,7 +398,6 @@ def symbolic_most_liberal(
             f"symbolic fixed-point iteration did not converge within {limit} iterations"
         )
 
-    # Confirm the fixed point really only mentions primary inputs.
     input_set = set(spec.input_signals())
     for moe, expr in current.items():
         leftover = expr.variables() - input_set
@@ -198,14 +407,12 @@ def symbolic_most_liberal(
                 "the specification's moe dependency structure is malformed"
             )
 
-    bdd_sizes = {
-        moe: context.manager.dag_size(node) for moe, node in current_nodes.items()
-    }
+    bdd_sizes = {moe: manager.dag_size(node) for moe, node in current_nodes.items()}
     return DerivationResult(
         spec=spec,
-        moe_expressions=current,
         iterations=iterations,
         feed_forward=spec.is_feed_forward(),
+        moe_expressions=current,
         bdd_sizes=bdd_sizes,
     )
 
@@ -265,15 +472,31 @@ def most_liberal_is_maximal(
         SPEC_func(moe, inputs)  →  (moe_i → MOE_i(inputs))     for every i
 
     This is the machine-checked version of the paper's inductive proof.
+    The claim is decided directly on the derivation's BDD nodes — no
+    expressions are materialized.
     """
     derivation = derivation or symbolic_most_liberal(spec)
+    if derivation.moe_functions is not None:
+        context = derivation.context
+        manager = context.manager
+        functional_node = context.lift(spec.functional_formula()).node
+        for moe in spec.moe_flags():
+            # The claim is valid iff SPEC_func ∧ moe_i ∧ ¬MOE_i is
+            # unsatisfiable; the fused relational product decides that in
+            # one sweep without building the conjunction.
+            refutation = manager.and_(
+                manager.var(moe), manager.not_(derivation.moe_functions[moe].node)
+            )
+            witness = manager.and_exists(
+                functional_node, refutation, manager.variable_order()
+            )
+            if witness != manager.false():
+                return False
+        return True
     context = ExprBddContext()
     manager = context.manager
     functional_node = context.compile(spec.functional_formula())
     for moe in spec.moe_flags():
-        # The claim is valid iff SPEC_func ∧ ¬(moe_i → MOE_i) is unsatisfiable;
-        # the fused relational product decides that in one sweep without
-        # building the conjunction.
         refutation = context.compile(Not(Var(moe).implies(derivation.moe_expressions[moe])))
         witness = manager.and_exists(
             functional_node, refutation, manager.variable_order()

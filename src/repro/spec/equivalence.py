@@ -31,8 +31,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..bdd.expr_to_bdd import ExprBddContext
+from ..bdd.ordering import register_interleaved_order
 from ..expr.ast import Expr, Iff, Implies
 from ..expr.printer import to_text
+from ..symbolic import SymbolicContext
 from .derivation import symbolic_most_liberal
 from .functional import FunctionalSpec, SpecificationError
 
@@ -212,14 +214,56 @@ def check_derived_equivalence(
     spec_b: FunctionalSpec,
     assumptions: Optional[Expr] = None,
 ) -> EquivalenceReport:
-    """Compare the maximum-performance interlocks two specifications induce."""
-    context = ExprBddContext()
-    derived_a = symbolic_most_liberal(spec_a).moe_expressions
-    derived_b = symbolic_most_liberal(spec_b).moe_expressions
+    """Compare the maximum-performance interlocks two specifications induce.
+
+    Both specifications are derived into one shared
+    :class:`~repro.symbolic.SymbolicContext`, so per flag the equivalence
+    decision is a pointer comparison between the two closed-form BDD nodes
+    — no expression is materialized, substituted or re-compiled.  A
+    differing pair yields a witness from a lock-step walk of the two DAGs.
+    """
+    flags = _shared_flags(spec_a, spec_b)
+    moes: List[str] = list(flags)
+    for moe in spec_b.moe_flags():
+        if moe not in moes:
+            moes.append(moe)
+    inputs = list(spec_a.input_signals())
+    seen = set(inputs)
+    for name in spec_b.input_signals():
+        if name not in seen:
+            seen.add(name)
+            inputs.append(name)
+    context = SymbolicContext(moes + register_interleaved_order(inputs))
+    manager = context.manager
+    derived_a = symbolic_most_liberal(spec_a, context=context).moe_functions
+    derived_b = symbolic_most_liberal(spec_b, context=context).moe_functions
+    assumption_node = (
+        context.lift(assumptions).node if assumptions is not None else manager.true()
+    )
     report = EquivalenceReport(name_a=spec_a.name, name_b=spec_b.name, level="derived-interlock")
-    for moe in _shared_flags(spec_a, spec_b):
+    for moe in flags:
+        node_a = derived_a[moe].node
+        node_b = derived_b[moe].node
+        forward = manager.implies(
+            assumption_node, manager.implies(node_a, node_b)
+        ) == manager.true()
+        backward = manager.implies(
+            assumption_node, manager.implies(node_b, node_a)
+        ) == manager.true()
+        counterexample = None
+        if not (forward and backward):
+            counterexample = manager.find_difference(
+                manager.and_(assumption_node, node_a),
+                manager.and_(assumption_node, node_b),
+            )
         report.flags.append(
-            _compare(context, moe, derived_a[moe], derived_b[moe], assumptions)
+            FlagComparison(
+                moe=moe,
+                equivalent=forward and backward,
+                forward_holds=forward,
+                backward_holds=backward,
+                counterexample=counterexample,
+            )
         )
     return report
 

@@ -195,8 +195,38 @@ def check_disjunction_closure(spec: FunctionalSpec) -> PropertyCheck:
 def check_most_liberal_satisfies(
     spec: FunctionalSpec, derivation: Optional[DerivationResult] = None
 ) -> PropertyCheck:
-    """Property (3): the derived most liberal assignment satisfies SPEC_func."""
+    """Property (3): the derived most liberal assignment satisfies SPEC_func.
+
+    With a SymbolicFunction-backed derivation the claim is decided on BDD
+    nodes in the derivation's own context: the clause condition is composed
+    with the closed forms and checked against ``¬MOE_i`` directly — no
+    expression is materialized or substituted.
+    """
     derivation = derivation or symbolic_most_liberal(spec)
+    if derivation.moe_functions is not None:
+        context = derivation.context
+        manager = context.manager
+        moe_nodes = {
+            moe: function.node for moe, function in derivation.moe_functions.items()
+        }
+        for clause in spec.clauses:
+            condition = manager.compose_many(
+                context.lift(clause.condition).node, moe_nodes
+            )
+            # condition∘MOE → ¬MOE_i is valid iff condition∘MOE ∧ MOE_i = ⊥.
+            violation = manager.and_(condition, moe_nodes[clause.moe])
+            if violation != manager.false():
+                return PropertyCheck(
+                    name="property-3-most-liberal-satisfies",
+                    holds=False,
+                    detail=f"the fixed point violates the clause for {clause.moe}",
+                    counterexample=manager.pick_one(violation),
+                )
+        return PropertyCheck(
+            name="property-3-most-liberal-satisfies",
+            holds=True,
+            detail=f"fixed point reached after {derivation.iterations} iteration(s)",
+        )
     for clause in spec.clauses:
         residual = substitute(clause.functional_formula(), derivation.moe_expressions)
         context = ExprBddContext()
@@ -240,6 +270,43 @@ def check_maximality(
     sufficient: the full specification implies its own cone.)
     """
     derivation = derivation or symbolic_most_liberal(spec)
+    if derivation.moe_functions is not None:
+        context = derivation.context
+        manager = context.manager
+        for moe in spec.moe_flags():
+            cone = _dependency_cone(spec, moe)
+            antecedent = context.lift(
+                big_and(
+                    clause.functional_formula()
+                    for clause in spec.clauses
+                    if clause.moe in cone
+                )
+            ).node
+            # Refuted by a witness of antecedent ∧ moe_i ∧ ¬MOE_i; the fused
+            # relational product decides emptiness without the conjunction.
+            refutation = manager.and_(
+                manager.var(moe),
+                manager.not_(derivation.moe_functions[moe].node),
+            )
+            if (
+                manager.and_exists(antecedent, refutation, manager.variable_order())
+                != manager.false()
+            ):
+                return PropertyCheck(
+                    name="maximality-of-most-liberal",
+                    holds=False,
+                    detail=(
+                        f"found a satisfying assignment with {moe} set although MOE clears it"
+                    ),
+                    counterexample=manager.pick_one(
+                        manager.and_(antecedent, refutation)
+                    ),
+                )
+        return PropertyCheck(
+            name="maximality-of-most-liberal",
+            holds=True,
+            detail="every satisfying moe vector is pointwise below the derived MOE",
+        )
     for moe in spec.moe_flags():
         cone = _dependency_cone(spec, moe)
         antecedent = big_and(

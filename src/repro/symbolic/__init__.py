@@ -1,0 +1,11 @@
+"""BDD-backed symbolic functions — the canonical currency between layers.
+
+See :mod:`repro.symbolic.function` for the design rationale: layers hand
+each other :class:`SymbolicFunction` objects (a BDD node + shared context +
+variable scope) and materialize minimized expressions lazily via ISOP
+covers only at the printing/HDL/monitoring boundary.
+"""
+
+from .function import SymbolicContext, SymbolicFunction
+
+__all__ = ["SymbolicContext", "SymbolicFunction"]

@@ -204,6 +204,11 @@ def optimize_derivation(
 
     for moe, expression in derivation.moe_expressions.items():
         optimized, method = _optimize_expression(expression, care, max_vars, context)
+        if literal_count(optimized) > literal_count(expression):
+            # The derivation already materializes minimized ISOP covers, so
+            # a flag can arrive in a form (e.g. the negation of a compact
+            # complement cover) that two-level expansion only makes bigger.
+            optimized, method = expression, "already minimal"
         if verify:
             claim: Expr = Iff(expression, optimized)
             if care is not None:

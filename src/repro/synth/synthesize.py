@@ -18,7 +18,7 @@ in the paper's Section 5) is left to the consuming design flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..expr.ast import And, Const, Expr, Iff, Implies, Ite, Not, Or, Var
 from ..expr.transform import eliminate_derived, simplify
@@ -70,15 +70,19 @@ class NetlistInterlock(ClosedFormInterlock):
             description="evaluates the synthesised gate-level netlist each cycle",
         )
         self._synthesis = synthesis
+        # Hoisted out of the per-cycle loop: moe_expressions is a copying
+        # property, and the reverse name map never changes.
+        self._moe_set = set(synthesis.spec.moe_flags())
+        self._reverse_names = {v: k for k, v in synthesis.name_map.items()}
 
     def compute_moe(self, inputs: Mapping[str, bool]) -> Dict[str, bool]:
         hdl_inputs = {}
         for signal, identifier in self._synthesis.name_map.items():
-            if signal in self._synthesis.derivation.moe_expressions:
+            if signal in self._moe_set:
                 continue
             hdl_inputs[identifier] = bool(inputs.get(signal, False))
         outputs = self._synthesis.module.evaluate(hdl_inputs)
-        reverse = {v: k for k, v in self._synthesis.name_map.items()}
+        reverse = self._reverse_names
         return {
             reverse[identifier]: value
             for identifier, value in outputs.items()
@@ -86,11 +90,12 @@ class NetlistInterlock(ClosedFormInterlock):
 
 
 class _NetlistBuilder:
-    """Lowers expressions to gates with structural sharing."""
+    """Lowers expressions and ISOP covers to gates with structural sharing."""
 
     def __init__(self, module: Module):
         self.module = module
         self.cache: Dict[Expr, str] = {}
+        self._net_cache: Dict[tuple, str] = {}
         self.counter = 0
 
     def fresh_wire(self, hint: str) -> str:
@@ -102,6 +107,60 @@ class _NetlistBuilder:
     def lower(self, expr: Expr) -> str:
         expr = simplify(eliminate_derived(expr))
         return self._lower(expr)
+
+    # -- cover lowering (the SymbolicFunction path) --------------------------------
+
+    def not_net(self, operand: str) -> str:
+        """A shared inverter of an existing net."""
+        key = ("not", operand)
+        net = self._net_cache.get(key)
+        if net is None:
+            net = self.fresh_wire("not")
+            self.module.gates.append(Gate(kind=GateKind.NOT, output=net, inputs=(operand,)))
+            self._net_cache[key] = net
+        return net
+
+    def lower_cover(self, cover: Sequence[Mapping[str, bool]]) -> str:
+        """Lower an ISOP cover (cubes of HDL-named literals) to an AND–OR net.
+
+        The two-level structure is built directly — one AND per cube over
+        shared literal nets, one OR over the cube nets — without an
+        intermediate expression tree; duplicate cubes and inverters are
+        shared through the net cache.
+        """
+        if not cover:
+            net = self.fresh_wire("const")
+            self.module.gates.append(Gate(kind=GateKind.CONST0, output=net))
+            return net
+        cube_nets = []
+        for cube in cover:
+            if not cube:  # the empty product: the cover is the constant TRUE
+                net = self.fresh_wire("const")
+                self.module.gates.append(Gate(kind=GateKind.CONST1, output=net))
+                return net
+            literals = tuple(sorted(cube.items()))
+            net = self._net_cache.get(("cube", literals))
+            if net is None:
+                literal_nets = tuple(
+                    name if polarity else self.not_net(name)
+                    for name, polarity in literals
+                )
+                if len(literal_nets) == 1:
+                    net = literal_nets[0]
+                else:
+                    net = self.fresh_wire("and")
+                    self.module.gates.append(
+                        Gate(kind=GateKind.AND, output=net, inputs=literal_nets)
+                    )
+                self._net_cache[("cube", literals)] = net
+            cube_nets.append(net)
+        if len(cube_nets) == 1:
+            return cube_nets[0]
+        net = self.fresh_wire("or")
+        self.module.gates.append(
+            Gate(kind=GateKind.OR, output=net, inputs=tuple(cube_nets))
+        )
+        return net
 
     def _lower(self, expr: Expr) -> str:
         if expr in self.cache:
@@ -165,9 +224,23 @@ def synthesize_interlock(
 
     builder = _NetlistBuilder(module)
     for moe in spec.moe_flags():
-        expression = derivation.moe_expressions[moe]
-        hdl_expression = _rename_for_hdl(expression, name_map)
-        net = builder.lower(hdl_expression)
+        if derivation.moe_functions is not None:
+            # The SymbolicFunction path: gates come straight from the
+            # (possibly complemented) minimized ISOP cover of the BDD node —
+            # no expression tree is built or simplified on the way.
+            complemented, cover = derivation.moe_functions[moe].minimized_cover()
+            hdl_cover = [
+                {name_map.get(name, to_hdl_identifier(name)): polarity
+                 for name, polarity in cube.items()}
+                for cube in cover
+            ]
+            net = builder.lower_cover(hdl_cover)
+            if complemented:
+                net = builder.not_net(net)
+        else:
+            expression = derivation.moe_expressions[moe]
+            hdl_expression = _rename_for_hdl(expression, name_map)
+            net = builder.lower(hdl_expression)
         module.gates.append(
             Gate(kind=GateKind.BUF, output=name_map[moe], inputs=(net,))
         )

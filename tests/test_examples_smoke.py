@@ -1,0 +1,58 @@
+"""Smoke tests: every script under examples/ must import and run.
+
+Each example is executed through its ``main()`` entry point with
+quickstart-sized keyword arguments (where the script accepts them) so the
+whole directory finishes in seconds.  This keeps the examples honest during
+refactors: an API they use cannot be changed or removed without this file
+noticing.
+"""
+
+import contextlib
+import inspect
+import io
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# Shrunk keyword arguments per script (only those its main() accepts are
+# passed), keeping every run at smoke-test size.
+QUICK_ARGS = {
+    "quickstart.py": {"num_registers": 2},
+    "firepath_verification.py": {
+        "num_registers": 2,
+        "num_programs": 1,
+        "program_length": 16,
+        "max_cycles": 300,
+    },
+}
+
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to this smoke suite."""
+    assert EXAMPLE_SCRIPTS, "examples directory is empty?"
+    unknown = set(QUICK_ARGS) - set(EXAMPLE_SCRIPTS)
+    assert not unknown, f"QUICK_ARGS names missing scripts: {sorted(unknown)}"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script):
+    # Import without triggering the __main__ guard, then call main() with
+    # whatever quick arguments its signature accepts.
+    namespace = runpy.run_path(str(EXAMPLES_DIR / script))
+    main = namespace.get("main")
+    assert callable(main), f"{script} has no main() entry point"
+    accepted = inspect.signature(main).parameters
+    kwargs = {
+        name: value
+        for name, value in QUICK_ARGS.get(script, {}).items()
+        if name in accepted
+    }
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        main(**kwargs)
+    assert stdout.getvalue().strip(), f"{script} produced no output"

@@ -1,0 +1,337 @@
+"""Tests for the SymbolicFunction layer (repro.symbolic) and its BDD kernel ops.
+
+The acceptance-critical property lives here: ISOP-materialized expressions
+are cross-checked against their BDD nodes with hypothesis — compiling the
+materialized minimized cover back into the context must reproduce exactly
+the node it came from, and both must agree pointwise with the original
+expression on every assignment.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import register_interleaved_order
+from repro.bdd.manager import BddManager, CoverBudgetExceeded
+from repro.expr import (
+    And,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    all_assignments,
+    eval_expr,
+)
+from repro.spec import symbolic_most_liberal
+from repro.symbolic import SymbolicContext, SymbolicFunction
+
+VARIABLE_NAMES = ["a", "b", "c", "d", "e"]
+
+
+def expressions(max_leaves: int = 12):
+    """Hypothesis strategy producing random expressions over a small alphabet."""
+    leaves = st.sampled_from([Var(name) for name in VARIABLE_NAMES])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda pair: And(*pair)),
+            st.tuples(children, children).map(lambda pair: Or(*pair)),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+            st.tuples(children, children).map(lambda pair: Iff(*pair)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestIsopMaterialization:
+    @settings(max_examples=120, deadline=None)
+    @given(expressions())
+    def test_materialized_cover_equivalent_to_node(self, expr):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift(expr)
+        materialized = function.to_expr()
+        # Pointwise agreement with the original expression ...
+        for assignment in all_assignments(VARIABLE_NAMES):
+            assert eval_expr(expr, assignment) == eval_expr(materialized, assignment)
+        # ... and compiling the cover back must land on the very same node.
+        assert context.lift(materialized).node == function.node
+
+    @settings(max_examples=60, deadline=None)
+    @given(expressions())
+    def test_minimized_cover_polarity_is_consistent(self, expr):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift(expr)
+        complemented, cubes = function.minimized_cover()
+        rebuilt = context.false()
+        for cube in cubes:
+            product = context.true()
+            for name, polarity in cube.items():
+                literal = context.var(name)
+                product = product & (literal if polarity else ~literal)
+            rebuilt = rebuilt | product
+        if complemented:
+            rebuilt = ~rebuilt
+        assert rebuilt.node == function.node
+
+    def test_materialization_is_cached(self):
+        context = SymbolicContext(["a", "b"])
+        function = context.lift(Or(Var("a"), Var("b")))
+        assert function.to_expr() is function.to_expr()
+
+    def test_constants_materialize_to_constants(self):
+        context = SymbolicContext(["a"])
+        assert context.true().to_expr() is TRUE
+        assert context.false().to_expr() is FALSE
+
+    def test_mostly_true_function_materializes_via_complement(self):
+        # ¬(a ∧ b ∧ c ∧ d): 15 of 16 minterms on — the direct SOP needs four
+        # cubes, the complement one; the budget race must pick the negation.
+        context = SymbolicContext(VARIABLE_NAMES)
+        product = And(And(Var("a"), Var("b")), And(Var("c"), Var("d")))
+        function = context.lift(Not(product))
+        complemented, cubes = function.minimized_cover()
+        assert complemented is True
+        assert len(cubes) == 1
+        assert cubes[0] == {"a": True, "b": True, "c": True, "d": True}
+
+    def test_cover_budget_raises(self):
+        manager = BddManager([f"x{i}" for i in range(4)] + [f"y{i}" for i in range(4)])
+        # The interleaving achilles heel: OR of x_i ∧ y_i cubes.
+        node = manager.false()
+        for i in range(4):
+            node = manager.or_(
+                node, manager.and_(manager.var(f"x{i}"), manager.var(f"y{i}"))
+            )
+        with pytest.raises(CoverBudgetExceeded):
+            manager.isop(node, node, max_cubes=2)
+        # Without a budget the full cover comes back fine.
+        _, cubes = manager.isop(node, node)
+        assert len(cubes) == 4
+
+
+class TestGeneralizedCofactors:
+    @settings(max_examples=80, deadline=None)
+    @given(expressions(), expressions())
+    def test_cofactors_agree_on_care_set(self, f_expr, c_expr):
+        context = SymbolicContext(VARIABLE_NAMES)
+        f = context.lift(f_expr)
+        care = context.lift(c_expr)
+        if care.is_false():
+            return
+        for operator in (SymbolicFunction.constrain, SymbolicFunction.restrict_with):
+            g = operator(f, care)
+            assert (g & care).node == (f & care).node
+
+    @settings(max_examples=80, deadline=None)
+    @given(expressions(), expressions())
+    def test_restrict_never_grows_support(self, f_expr, c_expr):
+        context = SymbolicContext(VARIABLE_NAMES)
+        f = context.lift(f_expr)
+        care = context.lift(c_expr)
+        if care.is_false():
+            return
+        assert f.restrict_with(care).support() <= f.support()
+
+    def test_empty_care_set_rejected(self):
+        context = SymbolicContext(["a"])
+        with pytest.raises(ValueError):
+            context.var("a").constrain(context.false())
+        with pytest.raises(ValueError):
+            context.var("a").restrict_with(context.false())
+
+
+class TestSymbolicFunctionAlgebra:
+    def test_operations_and_decisions(self):
+        context = SymbolicContext(["a", "b", "c"])
+        a, b, c = context.var("a"), context.var("b"), context.var("c")
+        assert (a & ~a).is_false()
+        assert (a | ~a).is_true()
+        assert (a ^ b).equivalent((a & ~b) | (~a & b))
+        assert a.implies(a | b).is_true()
+        assert a.iff(a).is_true()
+        assert a.ite(b, c).equivalent((a & b) | (~a & c))
+        assert (a & b).evaluate({"a": True, "b": True}) is True
+        assert (a & b).support() == frozenset({"a", "b"})
+        assert (a & b).sat_count(over=["a", "b", "c"]) == 2
+
+    def test_compose_substitutes_simultaneously(self):
+        context = SymbolicContext(["a", "b"])
+        a, b = context.var("a"), context.var("b")
+        swapped = (a & ~b).compose({"a": b, "b": a})
+        assert swapped.equivalent(b & ~a)
+
+    def test_cross_context_mixing_is_rejected(self):
+        context_a = SymbolicContext(["a"])
+        context_b = SymbolicContext(["a"])
+        with pytest.raises(ValueError):
+            context_a.var("a") & context_b.var("a")
+        with pytest.raises(ValueError):
+            context_a.lift(context_b.var("a"))
+
+    def test_find_difference_names_a_witness(self):
+        context = SymbolicContext(["a", "b"])
+        a, b = context.var("a"), context.var("b")
+        witness = (a & b).find_difference(a)
+        assert witness is not None
+        assert eval_expr(And(Var("a"), Var("b")), witness) != witness["a"]
+
+    def test_scope_merges_through_operations(self):
+        context = SymbolicContext(["a", "b"])
+        f = context.function(context.var("a").node, scope=["a"])
+        g = context.function(context.var("b").node, scope=["b"])
+        assert (f & g).scope == ("a", "b")
+        assert f.sat_count() == 1  # over its scope, not the whole manager
+
+
+class TestDerivationBackends:
+    def test_bdd_and_expr_backends_agree(self, example_spec):
+        bdd_result = symbolic_most_liberal(example_spec, backend="bdd")
+        expr_result = symbolic_most_liberal(example_spec, backend="expr")
+        context = SymbolicContext()
+        for moe in example_spec.moe_flags():
+            lhs = context.lift(bdd_result.moe_expressions[moe])
+            rhs = context.lift(expr_result.moe_expressions[moe])
+            assert lhs.node == rhs.node, f"backends disagree on {moe}"
+
+    def test_bdd_backend_carries_functions_expr_backend_does_not(self, example_spec):
+        assert symbolic_most_liberal(example_spec).moe_functions is not None
+        legacy = symbolic_most_liberal(example_spec, backend="expr")
+        assert legacy.moe_functions is None
+        with pytest.raises(KeyError):
+            legacy.moe_function(example_spec.moe_flags()[0])
+
+    def test_unknown_backend_rejected(self, example_spec):
+        with pytest.raises(ValueError):
+            symbolic_most_liberal(example_spec, backend="sat")
+
+    def test_stall_expressions_are_memoized(self, example_spec):
+        derivation = symbolic_most_liberal(example_spec)
+        first = derivation.stall_expressions()
+        second = derivation.stall_expressions()
+        assert first == second
+        for moe in first:
+            # The per-flag objects are the cached instances, not re-simplified.
+            assert first[moe] is second[moe]
+
+    def test_stall_functions_are_negations(self, example_spec):
+        derivation = symbolic_most_liberal(example_spec)
+        for moe, stall in derivation.stall_functions().items():
+            assert (~stall).node == derivation.moe_function(moe).node
+
+    def test_derivation_scope_is_primary_inputs(self, example_spec):
+        derivation = symbolic_most_liberal(example_spec)
+        for function in derivation.moe_functions.values():
+            assert function.scope == tuple(example_spec.input_signals())
+            assert function.support() <= set(example_spec.input_signals())
+
+
+class TestSymbolicObligationsAcrossLayers:
+    def test_property_checker_accepts_symbolic_obligations(self, example_spec, example_arch):
+        from repro.checking import PropertyChecker
+
+        derivation = symbolic_most_liberal(example_spec)
+        context = derivation.context
+        checker = PropertyChecker(example_spec, architecture=example_arch, backend="bdd")
+        # The derivation's own per-stage contract, handed over as nodes:
+        # condition∘MOE ↔ ¬MOE_i must be valid for every stage.
+        moe_nodes = {m: f.node for m, f in derivation.moe_functions.items()}
+        obligations = {}
+        for clause in example_spec.clauses:
+            condition = context.function(
+                context.manager.compose_many(context.lift(clause.condition).node, moe_nodes)
+            )
+            obligations[clause.moe] = condition.iff(~derivation.moe_function(clause.moe))
+        report = checker.check_obligations(obligations, name="derived-contract")
+        assert report.all_hold()
+        assert len(report.results) == len(example_spec.clauses)
+
+    def test_property_checker_reports_failing_obligation_with_witness(
+        self, example_spec, example_arch
+    ):
+        from repro.checking import PropertyChecker
+
+        derivation = symbolic_most_liberal(example_spec)
+        checker = PropertyChecker(example_spec, architecture=example_arch, backend="bdd")
+        moe = example_spec.moe_flags()[0]
+        # MOE_i is not constant-true, so this obligation must fail.
+        report = checker.check_obligations({moe: derivation.moe_function(moe)})
+        assert not report.all_hold()
+        assert report.results[0].counterexample is not None
+
+    def test_bmc_model_from_derivation(self, example_spec):
+        from repro.checking import BoundedModelChecker, CombinationalModel
+
+        derivation = symbolic_most_liberal(example_spec)
+        model = CombinationalModel.from_derivation(derivation)
+        assert set(model.moe_flags()) == set(example_spec.moe_flags())
+        checker = BoundedModelChecker(example_spec, stop_at_first=False)
+        result = checker.check_performance(model, bound=2)
+        assert result.holds
+
+    def test_derived_assertions_from_covers(self, example_spec, example_arch):
+        from repro.assertions import derived_assertions, monitor_trace
+        from repro.pipeline import reference_interlock, simulate
+        from repro.workloads import WorkloadGenerator, WorkloadProfile
+
+        derivation = symbolic_most_liberal(example_spec)
+        assertions = derived_assertions(derivation)
+        assert len(assertions) == 2 * len(example_spec.moe_flags())
+        # Closed-form assertions range over primary inputs plus the stage's
+        # own moe flag only — never other stages' flags.
+        inputs = set(example_spec.input_signals())
+        for assertion in assertions:
+            assert assertion.formula.variables() <= inputs | {assertion.moe}
+        # The reference interlock satisfies its own closed-form contract.
+        program = WorkloadGenerator(example_arch, seed=5).generate(WorkloadProfile(length=40))
+        trace = simulate(example_arch, reference_interlock(example_spec), program)
+        assert monitor_trace(trace, assertions).clean()
+
+    def test_synthesis_lowers_isop_covers(self, example_spec):
+        from repro.synth import synthesize_interlock
+
+        derivation = symbolic_most_liberal(example_spec)
+        synthesis = synthesize_interlock(example_spec, derivation=derivation)
+        # The netlist interlock agrees with the closed forms on sampled inputs.
+        import random
+
+        rng = random.Random(9)
+        interlock = synthesis.interlock()
+        for _ in range(25):
+            valuation = {
+                name: bool(rng.getrandbits(1)) for name in example_spec.input_signals()
+            }
+            assert interlock.compute_moe(valuation) == derivation.evaluate(valuation)
+
+
+class TestRegisterInterleavedOrder:
+    def test_groups_by_register_index(self):
+        names = [
+            "interrupt",
+            "p.1.src.regaddr=0",
+            "p.1.src.regaddr=1",
+            "scb[0]",
+            "scb[1]",
+            "c.regaddr=0",
+            "c.regaddr=1",
+        ]
+        order = register_interleaved_order(names)
+        assert order[0] == "interrupt"
+        index_0 = {order.index(n) for n in ("p.1.src.regaddr=0", "scb[0]", "c.regaddr=0")}
+        index_1 = {order.index(n) for n in ("p.1.src.regaddr=1", "scb[1]", "c.regaddr=1")}
+        assert max(index_0) < min(index_1)
+
+    def test_full_firepath_derivation_completes(self):
+        # The acceptance scenario: 16 registers, two-sided LIW — previously
+        # intractable.  Keep an eye on wall clock: this must stay trivial.
+        from repro.archs import firepath_like_architecture
+        from repro.spec import build_functional_spec
+
+        spec = build_functional_spec(firepath_like_architecture(num_registers=16))
+        derivation = symbolic_most_liberal(spec)
+        assert len(derivation.moe_functions) == len(spec.moe_flags())
+        assert max(derivation.bdd_sizes.values()) < 10_000
+        # Materialization must also stay tractable (budget-raced covers).
+        assert all(expr.size() < 10_000 for expr in derivation.moe_expressions.values())
