@@ -1,21 +1,46 @@
 #!/usr/bin/env bash
-# One-command CI gate: tier-1 tests followed by the quick benchmark check.
+# One-command CI gate: lint, tier-1 tests, then the quick benchmark check.
 #
-#   scripts/ci.sh
+#   scripts/ci.sh                    run the full gate
+#   scripts/ci.sh --update-baseline  regenerate BENCH_QUICK.json and exit
 #
-# Fails when any test fails or when a quick-size benchmark scenario regresses
-# more than the tolerance against the committed BENCH_QUICK.json baseline.
-# Regenerate the baseline after an intentional performance change with:
-#
-#   PYTHONPATH=src python -m repro bench --quick --repeat 3 --out BENCH_QUICK.json
+# The gate fails when the lint stage finds an error, when any test fails,
+# or when a quick-size benchmark scenario regresses more than the
+# tolerance against the committed BENCH_QUICK.json baseline.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+BASELINE=BENCH_QUICK.json
+
+if [[ "${1:-}" == "--update-baseline" ]]; then
+    echo "== regenerating $BASELINE (quick sizes, 3 repetitions) =="
+    python -m repro bench --quick --repeat 3 --out "$BASELINE"
+    echo "baseline updated; commit $BASELINE with the change that moved it"
+    exit 0
+elif [[ -n "${1:-}" ]]; then
+    echo "error: unknown option '$1' (supported: --update-baseline)" >&2
+    exit 2
+fi
+
+echo "== lint =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests
+else
+    echo "ruff not installed — skipping lint stage (CI installs it; locally: pip install ruff)"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo "== quick benchmark gate =="
-python -m repro bench --quick --check --baseline BENCH_QUICK.json
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: benchmark baseline $BASELINE is missing." >&2
+    echo "Every clone ships one; if you removed it intentionally, regenerate it with:" >&2
+    echo "    scripts/ci.sh --update-baseline" >&2
+    echo "and commit the result." >&2
+    exit 1
+fi
+python -m repro bench --quick --check --baseline "$BASELINE"

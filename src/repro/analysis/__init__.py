@@ -1,5 +1,6 @@
-"""Trace analysis: stall classification, specification coverage and throughput statistics."""
+"""Trace analysis: stall classification, coverage, throughput and batch aggregation."""
 
+from .aggregate import rate, render_table, summarize_timings
 from .coverage import (
     CoverageReport,
     DisjunctCoverage,
@@ -17,6 +18,9 @@ from .stats import (
 )
 
 __all__ = [
+    "rate",
+    "render_table",
+    "summarize_timings",
     "CoverageReport",
     "DisjunctCoverage",
     "StageCoverage",

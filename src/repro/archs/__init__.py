@@ -7,8 +7,21 @@ from .example_dac2002 import (
     paper_performance_formula,
     paper_stall_conditions,
 )
+from .family import (
+    FamilyConfig,
+    FamilyError,
+    SCOREBOARD_STYLES,
+    SHOWCASE_CONFIGS,
+    generate_family,
+    is_family_name,
+)
 from .firepath_like import firepath_like_architecture, scaled_architecture
-from .library import available_architectures, load_architecture
+from .library import (
+    available_architectures,
+    load_architecture,
+    register_architecture,
+    unregister_architecture,
+)
 from .risc5 import risc5_architecture
 
 __all__ = [
@@ -17,9 +30,17 @@ __all__ = [
     "paper_functional_formula",
     "paper_performance_formula",
     "paper_stall_conditions",
+    "FamilyConfig",
+    "FamilyError",
+    "SCOREBOARD_STYLES",
+    "SHOWCASE_CONFIGS",
+    "generate_family",
+    "is_family_name",
     "firepath_like_architecture",
     "scaled_architecture",
     "available_architectures",
     "load_architecture",
+    "register_architecture",
+    "unregister_architecture",
     "risc5_architecture",
 ]

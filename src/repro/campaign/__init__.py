@@ -1,0 +1,44 @@
+"""Parallel verification campaigns over many architectures.
+
+The paper verifies one design; this package turns the whole flow —
+Section 3.1 precondition checks, the symbolic fixed-point derivation,
+the maximality theorem, per-stage proof obligations, fault-injection
+campaigns and stall/coverage analysis — into a batch engine:
+
+* :mod:`repro.campaign.spec` — declarative job/campaign specifications
+  (dataclasses with a JSON round trip), including one-line family sweeps;
+* :mod:`repro.campaign.runner` — the end-to-end verification job a single
+  worker executes for one architecture;
+* :mod:`repro.campaign.store` — a content-hashed per-job JSON result
+  store, so re-running a campaign skips already-verified configurations;
+* :mod:`repro.campaign.orchestrator` — shards pending jobs across a
+  process pool and folds the results into an aggregate report;
+* :mod:`repro.campaign.report` — pass/fail/timing aggregation rendered
+  through :mod:`repro.analysis`.
+
+Exposed on the command line as ``python -m repro campaign``.
+"""
+
+from .orchestrator import run_campaign
+from .report import CampaignReport
+from .runner import (
+    CANONICAL_STAGES,
+    JobResult,
+    StageResult,
+    run_verification_job,
+)
+from .spec import CampaignSpec, CampaignSpecError, JobSpec, family_sweep
+from .store import ResultStore
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "CANONICAL_STAGES",
+    "JobResult",
+    "JobSpec",
+    "ResultStore",
+    "family_sweep",
+    "run_campaign",
+    "run_verification_job",
+]

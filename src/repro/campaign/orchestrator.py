@@ -1,0 +1,148 @@
+"""Process-pool campaign orchestrator.
+
+Shards the pending (non-cached) jobs of a campaign across worker
+processes.  Jobs cross the process boundary as plain dictionaries — the
+declarative :class:`~repro.campaign.spec.JobSpec` round trip — so no
+symbolic state (BDD managers, compiled evaluators) is ever pickled; each
+worker rebuilds everything from the architecture name, which is exactly
+what makes the shards independent.
+
+With ``workers=1`` (or a single pending job) everything runs in-process,
+which is also the fallback when the platform cannot fork; the result is
+identical either way, only the wall clock differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional
+
+from .report import CampaignReport
+from .runner import JobResult, run_verification_job
+from .spec import CampaignSpec, JobSpec
+from .store import ResultStore
+
+ProgressFn = Callable[[str], None]
+
+
+def _execute_job_dict(job_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: dict in, dict out (must stay module-level picklable)."""
+    return run_verification_job(JobSpec.from_dict(job_dict)).as_dict()
+
+
+def _pool_context():
+    """Prefer fork on Linux: workers inherit sys.path, so an uninstalled
+    source tree (PYTHONPATH=src) still imports.  Elsewhere keep the
+    platform default — macOS lists fork as available but forking a
+    process that touched the Objective-C runtime is unsafe there."""
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _run_pool(
+    pending: List[JobSpec],
+    workers: int,
+    progress: Optional[ProgressFn],
+) -> List[JobResult]:
+    """Run jobs across a process pool, preserving input order."""
+    results: List[Optional[JobResult]] = [None] * len(pending)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(pending)), mp_context=_pool_context()
+    ) as pool:
+        future_index = {
+            pool.submit(_execute_job_dict, job.to_dict()): index
+            for index, job in enumerate(pending)
+        }
+        outstanding = set(future_index)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = future_index[future]
+                try:
+                    result = JobResult.from_dict(future.result())
+                except Exception:
+                    # A killed or crashed worker (BrokenProcessPool, lost
+                    # result) fails its job, not the campaign: completed
+                    # results stay, remaining futures surface the same way.
+                    result = JobResult(
+                        job=pending[index],
+                        ok=False,
+                        seconds=0.0,
+                        error=traceback.format_exc(),
+                    )
+                results[index] = result
+                if progress is not None:
+                    status = "ok" if result.ok else "FAIL"
+                    progress(
+                        f"[{result.job.arch}] {status} in {result.seconds:.3f}s"
+                    )
+    return [result for result in results if result is not None]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressFn] = None,
+    workers: Optional[int] = None,
+) -> CampaignReport:
+    """Run a whole campaign and aggregate the per-job outcomes.
+
+    Args:
+        spec: the declarative campaign to run.
+        store: result store for content-hashed caching; None disables
+            persistence entirely.
+        use_cache: look up previously verified configurations in the
+            store before scheduling work (writes happen regardless).
+        progress: optional line-oriented progress callback.
+        workers: override the campaign's worker count (e.g. from the CLI).
+
+    Job failures — verification failures and crashed workers alike — are
+    captured in the per-job results; this function only raises for
+    orchestration-level errors.
+    """
+    worker_count = spec.workers if workers is None else max(1, workers)
+    start = time.perf_counter()
+    results: Dict[int, JobResult] = {}
+    pending: List[int] = []
+    for index, job in enumerate(spec.jobs):
+        cached = store.get(job) if (store is not None and use_cache) else None
+        if cached is not None:
+            cached.cached = True
+            results[index] = cached
+            if progress is not None:
+                progress(f"[{job.arch}] cached ({'ok' if cached.ok else 'FAIL'})")
+        else:
+            pending.append(index)
+
+    if pending:
+        pending_jobs = [spec.jobs[index] for index in pending]
+        if worker_count > 1 and len(pending_jobs) > 1:
+            fresh = _run_pool(pending_jobs, worker_count, progress)
+        else:
+            fresh = []
+            for job in pending_jobs:
+                result = run_verification_job(job)
+                fresh.append(result)
+                if progress is not None:
+                    status = "ok" if result.ok else "FAIL"
+                    progress(f"[{job.arch}] {status} in {result.seconds:.3f}s")
+        for index, result in zip(pending, fresh):
+            results[index] = result
+            # Only passing results are cached: a failure is something to
+            # investigate and re-run, not to replay from disk.
+            if store is not None and result.ok:
+                store.put(spec.jobs[index], result)
+
+    ordered = [results[index] for index in range(len(spec.jobs))]
+    return CampaignReport(
+        name=spec.name,
+        results=ordered,
+        workers=worker_count,
+        wall_seconds=time.perf_counter() - start,
+    )

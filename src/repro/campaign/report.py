@@ -1,0 +1,122 @@
+"""Aggregate pass/fail/timing report of a verification campaign."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..analysis import rate, render_table, summarize_timings
+from .runner import JobResult
+
+REPORT_SCHEMA = 1
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign run produced, in job order."""
+
+    name: str
+    results: List[JobResult] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    # -- aggregation -------------------------------------------------------------
+
+    def total(self) -> int:
+        """Number of jobs in the campaign."""
+        return len(self.results)
+
+    def passed(self) -> List[JobResult]:
+        """Jobs whose every stage held."""
+        return [result for result in self.results if result.ok]
+
+    def failed(self) -> List[JobResult]:
+        """Jobs with a failing stage or an error."""
+        return [result for result in self.results if not result.ok]
+
+    def errored(self) -> List[JobResult]:
+        """The subset of failures that crashed rather than refuted."""
+        return [result for result in self.results if result.error is not None]
+
+    def cached(self) -> List[JobResult]:
+        """Jobs answered by the result store instead of fresh work."""
+        return [result for result in self.results if result.cached]
+
+    def all_ok(self) -> bool:
+        """True when every job passed."""
+        return all(result.ok for result in self.results)
+
+    def stage_pass_rates(self) -> Dict[str, str]:
+        """Per-stage pass rate over the jobs that ran the stage."""
+        totals: Dict[str, int] = {}
+        passes: Dict[str, int] = {}
+        for result in self.results:
+            for stage in result.stages:
+                totals[stage.name] = totals.get(stage.name, 0) + 1
+                if stage.ok:
+                    passes[stage.name] = passes.get(stage.name, 0) + 1
+        return {
+            name: rate(passes.get(name, 0), totals[name]) for name in totals
+        }
+
+    def timing_summary(self) -> Dict[str, float]:
+        """Job-seconds statistics over the fresh (non-cached) jobs."""
+        return summarize_timings(
+            [result.seconds for result in self.results if not result.cached]
+        )
+
+    # -- rendering ---------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Per-job table rows."""
+        rows = []
+        for result in self.results:
+            failing = ",".join(result.failed_stages())
+            if result.error is not None and not failing:
+                failing = "(crashed)"
+            rows.append(
+                {
+                    "architecture": result.job.arch,
+                    "ok": "yes" if result.ok else "NO",
+                    "cached": "yes" if result.cached else "-",
+                    "seconds": f"{result.seconds:.3f}",
+                    "failing stages": failing or "-",
+                }
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready aggregate (written by ``repro campaign --report``)."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "name": self.name,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "total": self.total(),
+            "passed": len(self.passed()),
+            "failed": len(self.failed()),
+            "errored": len(self.errored()),
+            "cached": len(self.cached()),
+            "stage_pass_rates": self.stage_pass_rates(),
+            "timing": self.timing_summary(),
+            "jobs": [result.as_dict() for result in self.results],
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable campaign summary."""
+        fresh = self.total() - len(self.cached())
+        timing = self.timing_summary()
+        lines = [
+            f"Campaign {self.name!r}: {rate(len(self.passed()), self.total())} passed, "
+            f"{len(self.cached())} cached, {fresh} fresh, "
+            f"{self.workers} workers, wall {self.wall_seconds:.3f}s",
+        ]
+        if fresh:
+            lines.append(
+                f"  fresh job seconds: total {timing['total']:.3f}, "
+                f"mean {timing['mean']:.3f}, max {timing['max']:.3f}"
+            )
+        for stage, stage_rate in sorted(self.stage_pass_rates().items()):
+            lines.append(f"  stage {stage}: {stage_rate}")
+        lines.append(render_table(self.rows()))
+        return "\n".join(lines)

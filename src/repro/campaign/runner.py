@@ -1,0 +1,305 @@
+"""The end-to-end verification job one campaign worker executes.
+
+For a single architecture this chains the whole reproduction flow:
+
+``properties``
+    the Section 3.1 preconditions (including property 3, the
+    most-liberal/maximality pair) checked exhaustively with BDDs;
+``derive``
+    the symbolic fixed-point derivation of the maximum-performance
+    interlock;
+``maximality``
+    the machine-checked Section 3.2 subsumption theorem;
+``obligations``
+    the derived contract — ``F_i∘MOE ↔ ¬MOE_i`` per stage — discharged
+    through :meth:`~repro.checking.PropertyChecker.check_obligations`
+    under the architecture's environment assumptions;
+``faults``
+    a fault-injection campaign: every injected bug must be caught by the
+    generated assertions or the property checker;
+``analysis``
+    a simulated workload with assertions armed, stall classification (no
+    unnecessary stalls allowed) and specification coverage.
+
+Every stage is timed individually and reduced to JSON-ready details, so
+results can land in the content-hashed store and cross processes without
+pickling any symbolic state.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..analysis import classify_stalls, coverage_of
+from ..archs import load_architecture
+from ..assertions import monitor_trace, testbench_assertions
+from ..checking import PropertyChecker
+from ..faults import FaultCampaign, FaultInjector
+from ..pipeline import ClosedFormInterlock, simulate
+from ..spec import (
+    build_functional_spec,
+    check_all_properties,
+    most_liberal_is_maximal,
+    symbolic_most_liberal,
+)
+from ..workloads import WorkloadGenerator, WorkloadProfile
+from .spec import CANONICAL_STAGES, JobSpec
+
+#: Schema of the serialized job result (part of the store's content key
+#: indirectly via spec.SPEC_SCHEMA; bump both on incompatible changes).
+RESULT_SCHEMA = 1
+
+
+@dataclass
+class StageResult:
+    """Outcome of one verification stage of one job."""
+
+    name: str
+    ok: bool
+    seconds: float
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "seconds": round(self.seconds, 6),
+            "details": self.details,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StageResult":
+        """Rebuild from :meth:`as_dict` output."""
+        return cls(
+            name=payload["name"],
+            ok=bool(payload["ok"]),
+            seconds=float(payload["seconds"]),
+            details=dict(payload.get("details", {})),
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one whole verification job."""
+
+    job: JobSpec
+    ok: bool
+    seconds: float
+    stages: List[StageResult] = field(default_factory=list)
+    error: Optional[str] = None
+    cached: bool = False
+
+    def stage(self, name: str) -> StageResult:
+        """Look up a stage result by name (KeyError when absent)."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"job has no stage {name!r}")
+
+    def failed_stages(self) -> List[str]:
+        """Names of the stages that did not pass."""
+        return [stage.name for stage in self.stages if not stage.ok]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "job": self.job.to_dict(),
+            "ok": self.ok,
+            "seconds": round(self.seconds, 6),
+            "stages": [stage.as_dict() for stage in self.stages],
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobResult":
+        """Rebuild from :meth:`as_dict` output (ValueError on bad schema)."""
+        schema = payload.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(f"job result schema {schema} not supported")
+        return cls(
+            job=JobSpec.from_dict(payload["job"]),
+            ok=bool(payload["ok"]),
+            seconds=float(payload["seconds"]),
+            stages=[StageResult.from_dict(s) for s in payload.get("stages", [])],
+            error=payload.get("error"),
+        )
+
+
+# -- stage implementations ---------------------------------------------------------
+
+
+def _stage_properties(state: Dict[str, Any], job: JobSpec) -> StageResult:
+    report = check_all_properties(state["spec"])
+    details = {check.name: check.holds for check in report.checks}
+    return StageResult(
+        name="properties", ok=report.all_hold(), seconds=0.0, details=details
+    )
+
+
+def _stage_derive(state: Dict[str, Any], job: JobSpec) -> StageResult:
+    derivation = symbolic_most_liberal(state["spec"])
+    state["derivation"] = derivation
+    details = {
+        "iterations": derivation.iterations,
+        "feed_forward": derivation.feed_forward,
+        "moe_flags": len(state["spec"].moe_flags()),
+        "inputs": len(state["spec"].input_signals()),
+        "bdd_nodes": sum(derivation.bdd_sizes.values()),
+    }
+    return StageResult(name="derive", ok=True, seconds=0.0, details=details)
+
+
+def _derivation(state: Dict[str, Any]):
+    """The (possibly untimed) derivation later stages depend on."""
+    if "derivation" not in state:
+        state["derivation"] = symbolic_most_liberal(state["spec"])
+    return state["derivation"]
+
+
+def _stage_maximality(state: Dict[str, Any], job: JobSpec) -> StageResult:
+    ok = most_liberal_is_maximal(state["spec"], _derivation(state))
+    return StageResult(name="maximality", ok=ok, seconds=0.0, details={})
+
+
+def _stage_obligations(state: Dict[str, Any], job: JobSpec) -> StageResult:
+    spec = state["spec"]
+    derivation = _derivation(state)
+    context = derivation.context
+    moe_nodes = {moe: fn.node for moe, fn in derivation.moe_functions.items()}
+    obligations = {}
+    for clause in spec.clauses:
+        condition = context.function(
+            context.manager.compose_many(context.lift(clause.condition).node, moe_nodes)
+        )
+        obligations[clause.moe] = condition.iff(~derivation.moe_function(clause.moe))
+    checker = PropertyChecker(spec, architecture=state["architecture"], backend="bdd")
+    report = checker.check_obligations(obligations, name="derived-contract")
+    details = {"obligations": len(report.results), "failing": report.failing_stages()}
+    return StageResult(
+        name="obligations", ok=report.all_hold(), seconds=0.0, details=details
+    )
+
+
+def _stage_faults(state: Dict[str, Any], job: JobSpec) -> StageResult:
+    spec = state["spec"]
+    architecture = state["architecture"]
+    profile = WorkloadProfile(length=job.workload_length)
+    injector = FaultInjector(spec, seed=job.workload_seed)
+    faults = injector.standard_fault_set()[: job.max_faults]
+    if not faults:
+        return StageResult(
+            name="faults", ok=True, seconds=0.0, details={"injected": 0}
+        )
+    campaign = FaultCampaign(
+        architecture,
+        spec,
+        profile=profile,
+        num_programs=job.num_programs,
+        seed=job.workload_seed,
+        max_cycles=job.workload_length * 8 + 100,
+    )
+    summary = campaign.run(faults)
+    missed = summary.effective_total() - sum(
+        1 for record in summary.records if not record.vacuous and record.detected_by_any
+    )
+    details = {
+        "injected": summary.total(),
+        "vacuous": summary.vacuous(),
+        "detected_any": summary.detected_by_any(),
+        "detected_simulation": summary.detected_by_simulation(),
+        "detected_property": summary.detected_by_property_check(),
+        "missed": missed,
+    }
+    return StageResult(name="faults", ok=missed == 0, seconds=0.0, details=details)
+
+
+def _stage_analysis(state: Dict[str, Any], job: JobSpec) -> StageResult:
+    spec = state["spec"]
+    architecture = state["architecture"]
+    derivation = _derivation(state)
+    interlock = ClosedFormInterlock.from_derivation(derivation)
+    program = WorkloadGenerator(architecture, seed=job.workload_seed).generate(
+        WorkloadProfile(length=job.workload_length)
+    )
+    trace = simulate(architecture, interlock, program)
+    monitor = monitor_trace(trace, testbench_assertions(spec))
+    breakdown = classify_stalls(trace, spec, derivation=derivation)
+    coverage = coverage_of(spec, [trace])
+    details = {
+        "cycles": trace.num_cycles(),
+        "assertion_violations": len(monitor.violations),
+        "hazards": trace.hazard_count(),
+        "stall_cycles": breakdown.total_stalls(),
+        "unnecessary_stalls": breakdown.total_unnecessary(),
+        "disjunct_coverage": round(coverage.overall_disjunct_coverage, 4),
+    }
+    ok = (
+        monitor.clean()
+        and trace.hazard_count() == 0
+        and breakdown.total_unnecessary() == 0
+    )
+    return StageResult(name="analysis", ok=ok, seconds=0.0, details=details)
+
+
+_STAGE_IMPLS: Dict[str, Callable[[Dict[str, Any], JobSpec], StageResult]] = {
+    "properties": _stage_properties,
+    "derive": _stage_derive,
+    "maximality": _stage_maximality,
+    "obligations": _stage_obligations,
+    "faults": _stage_faults,
+    "analysis": _stage_analysis,
+}
+
+
+def run_verification_job(job: JobSpec) -> JobResult:
+    """Run one job's stages in canonical order and collect the outcome.
+
+    A stage that raises is recorded as failed with the traceback in the
+    job error and aborts the remaining stages; the orchestrator keeps the
+    campaign going with the other jobs.
+    """
+    start = time.perf_counter()
+    stages: List[StageResult] = []
+    try:
+        architecture = load_architecture(job.arch)
+        state: Dict[str, Any] = {
+            "architecture": architecture,
+            "spec": build_functional_spec(architecture),
+        }
+    except Exception:
+        return JobResult(
+            job=job,
+            ok=False,
+            seconds=time.perf_counter() - start,
+            stages=stages,
+            error=traceback.format_exc(),
+        )
+    error: Optional[str] = None
+    for name in CANONICAL_STAGES:
+        if name not in job.stages:
+            continue
+        stage_start = time.perf_counter()
+        try:
+            result = _STAGE_IMPLS[name](state, job)
+            result.seconds = time.perf_counter() - stage_start
+        except Exception:
+            result = StageResult(
+                name=name, ok=False, seconds=time.perf_counter() - stage_start
+            )
+            error = traceback.format_exc()
+        stages.append(result)
+        if error is not None:
+            break
+    ok = error is None and all(stage.ok for stage in stages)
+    return JobResult(
+        job=job,
+        ok=ok,
+        seconds=time.perf_counter() - start,
+        stages=stages,
+        error=error,
+    )

@@ -1,0 +1,88 @@
+"""Content-hashed per-job JSON result store.
+
+Each verified configuration lands in one file named by the SHA-256 of
+its canonical job specification (:meth:`JobSpec.job_key`), so a re-run
+of the same campaign finds every unchanged job by pure content address —
+no database, no index to corrupt, safe to merge across machines by
+copying files.  Only passing results are cached by default: a failure
+should be re-examined, not remembered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from .runner import JobResult
+from .spec import JobSpec
+
+
+class ResultStore:
+    """Directory of per-job result files keyed by job content hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job: JobSpec) -> Path:
+        """Where this job's result lives (whether or not it exists yet)."""
+        return self.root / f"{job.job_key()}.json"
+
+    def get(self, job: JobSpec) -> Optional[JobResult]:
+        """The stored result for a job, or None when absent or unreadable.
+
+        A corrupt or schema-incompatible file is treated as a miss — the
+        job simply re-runs and overwrites it.
+        """
+        path = self.path_for(job)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = JobResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        # Hash collisions aside, the stored job must equal the requested
+        # one; a mismatch means the file was tampered with or the hashing
+        # scheme changed, and either way the cache must not answer.
+        if result.job.to_dict() != job.to_dict():
+            return None
+        return result
+
+    def put(self, job: JobSpec, result: JobResult) -> Path:
+        """Persist a job result atomically; returns the file path."""
+        path = self.path_for(job)
+        # The ".part" suffix keeps a leaked temp file (worker SIGKILLed
+        # between mkstemp and replace) out of keys()/len()'s "*.json" glob.
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".part"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(result.as_dict(), stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def keys(self) -> List[str]:
+        """Content hashes currently present in the store."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every stored result; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -24,10 +24,15 @@ Sub-commands
                           assertions armed, report stalls / coverage, dump VCD
 ``bench``                 time the paper benchmarks (symbolic derivation,
                           exhaustive sweeps, property checking) and write JSON
+``campaign``              shard end-to-end verification jobs over many
+                          architectures (a parametric family sweep and/or
+                          named designs) across worker processes, with
+                          content-hashed result caching
 ========================  =====================================================
 
-Every sub-command accepts either ``--arch <name>`` (a bundled architecture)
-or ``--spec-file <path>`` (a functional specification in the
+Every sub-command accepts either ``--arch <name>`` (a bundled architecture
+or a parametric family member such as ``fam-r4w2d5s1-bypass``) or
+``--spec-file <path>`` (a functional specification in the
 :mod:`repro.spec.textio` format); simulation requires an architecture.
 """
 
@@ -89,13 +94,15 @@ class CliError(RuntimeError):
     """Raised for user-facing command-line errors."""
 
 
+_ARCH_HELP = (
+    "use a registered architecture (see 'repro list-archs') or a parametric "
+    "family name like 'fam-r4w2d5s1-bypass'"
+)
+
+
 def _add_source_arguments(parser: argparse.ArgumentParser, require_arch: bool = False) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
-    group.add_argument(
-        "--arch",
-        choices=available_architectures(),
-        help="use a bundled example architecture",
-    )
+    group.add_argument("--arch", help=_ARCH_HELP)
     if not require_arch:
         group.add_argument(
             "--spec-file",
@@ -124,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list-archs", help="list the bundled example architectures")
 
     show = subparsers.add_parser("show-arch", help="describe a bundled architecture")
-    show.add_argument("--arch", choices=available_architectures(), required=True)
+    show.add_argument("--arch", required=True, help=_ARCH_HELP)
 
     spec = subparsers.add_parser("spec", help="print or export the specification")
     _add_source_arguments(spec)
@@ -198,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = subparsers.add_parser(
         "simulate", help="simulate with the generated assertions armed"
     )
-    sim.add_argument("--arch", choices=available_architectures(), required=True)
+    sim.add_argument("--arch", required=True, help=_ARCH_HELP)
     sim.add_argument("--profile", choices=sorted(_PROFILES), default="balanced")
     sim.add_argument("--length", type=int, default=64, help="instructions per pipe")
     sim.add_argument("--seed", type=int, default=0)
@@ -238,6 +245,94 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.5,
         help="allowed slow-down factor before --check fails (default: 1.5)",
+    )
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a parallel verification campaign over many architectures",
+        description="Shard end-to-end verification jobs (properties, derivation, "
+        "maximality, obligations, fault campaign, stall/coverage analysis) over "
+        "a parametric architecture family and/or named designs across worker "
+        "processes, with content-hashed result caching.",
+    )
+    campaign.add_argument(
+        "--campaign-file",
+        help="load a declarative campaign spec (JSON) instead of building one "
+        "from the grid options below",
+    )
+    campaign.add_argument(
+        "--arch",
+        action="append",
+        dest="extra_archs",
+        metavar="NAME",
+        help="also verify this architecture (repeatable); with "
+        "--no-family the campaign is only these",
+    )
+    campaign.add_argument(
+        "--registers", default="2,4", help="family axis: register counts (CSV)"
+    )
+    campaign.add_argument(
+        "--widths", default="1,2", help="family axis: issue widths (CSV)"
+    )
+    campaign.add_argument(
+        "--depths", default="3,4,5", help="family axis: deep-pipe depths (CSV)"
+    )
+    campaign.add_argument(
+        "--latency-steps", default="1", help="family axis: latency steps (CSV)"
+    )
+    campaign.add_argument(
+        "--styles",
+        default="bypass,blocking",
+        help="family axis: scoreboard styles (CSV of bypass/blocking)",
+    )
+    campaign.add_argument(
+        "--no-family",
+        action="store_true",
+        help="skip the family grid and verify only the --arch names",
+    )
+    campaign.add_argument(
+        "--stages",
+        help="comma-separated subset of verification stages "
+        "(default: all — properties,derive,maximality,obligations,faults,analysis)",
+    )
+    campaign.add_argument(
+        "--length", type=int, default=48, help="workload length per job (default: 48)"
+    )
+    campaign.add_argument("--seed", type=int, default=0, help="workload seed")
+    campaign.add_argument(
+        "--max-faults",
+        type=int,
+        default=4,
+        help="faults injected per job, 0 disables (default: 4)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: the campaign spec's value; 2 for sweeps)",
+    )
+    campaign.add_argument(
+        "--store",
+        default=".campaign-results",
+        help="result-store directory for content-hashed caching "
+        "(default: .campaign-results)",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-verify every configuration even when a cached result exists",
+    )
+    campaign.add_argument(
+        "--report", help="write the aggregate report (JSON) to this file"
+    )
+    campaign.add_argument(
+        "--save-campaign",
+        help="write the declarative campaign spec (JSON) to this file",
+    )
+    campaign.add_argument(
+        "--list",
+        action="store_true",
+        help="list the campaign's jobs and exit without verifying",
     )
 
     return parser
@@ -421,6 +516,93 @@ def _cmd_bench(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _csv_strs(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _csv_ints(text: str, option: str) -> List[int]:
+    try:
+        return [int(part) for part in _csv_strs(text)]
+    except ValueError as exc:
+        raise CliError(f"{option} expects comma-separated integers, got {text!r}") from exc
+
+
+def _cmd_campaign(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from .campaign import (
+        CampaignSpec,
+        CampaignSpecError,
+        JobSpec,
+        ResultStore,
+        family_sweep,
+        run_campaign,
+    )
+    from .campaign.spec import CANONICAL_STAGES
+
+    stages = tuple(_csv_strs(args.stages or "")) or CANONICAL_STAGES
+    extra_archs = tuple(args.extra_archs or ())
+    try:
+        if args.campaign_file:
+            spec = CampaignSpec.load(args.campaign_file)
+        elif args.no_family:
+            if not extra_archs:
+                raise CliError("--no-family needs at least one --arch")
+            spec = CampaignSpec(
+                name="named-archs",
+                jobs=tuple(
+                    JobSpec(
+                        arch=arch,
+                        stages=stages,
+                        workload_length=args.length,
+                        workload_seed=args.seed,
+                        max_faults=args.max_faults,
+                    )
+                    for arch in extra_archs
+                ),
+                workers=args.workers or 2,
+            )
+        else:
+            spec = family_sweep(
+                registers=_csv_ints(args.registers, "--registers"),
+                widths=_csv_ints(args.widths, "--widths"),
+                depths=_csv_ints(args.depths, "--depths"),
+                latency_steps=_csv_ints(args.latency_steps, "--latency-steps"),
+                styles=tuple(_csv_strs(args.styles)),
+                extra_archs=extra_archs,
+                workers=args.workers or 2,
+                stages=stages,
+                workload_length=args.length,
+                workload_seed=args.seed,
+                max_faults=args.max_faults,
+            )
+    except CampaignSpecError as exc:
+        raise CliError(str(exc)) from exc
+    if args.save_campaign:
+        spec.save(args.save_campaign)
+        out.write(f"campaign spec written to {args.save_campaign}\n")
+    if args.list:
+        out.write(f"campaign {spec.name!r}: {len(spec.jobs)} jobs\n")
+        for job in spec.jobs:
+            out.write(f"  {job.arch}  stages={','.join(job.stages)}\n")
+        return 0
+    store = ResultStore(args.store) if args.store else None
+    report = run_campaign(
+        spec,
+        store=store,
+        use_cache=not args.no_cache,
+        progress=lambda line: out.write(line + "\n"),
+        workers=args.workers,
+    )
+    out.write(report.describe() + "\n")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write(f"aggregate report written to {args.report}\n")
+    return 0 if report.all_ok() else 1
+
+
 _COMMANDS = {
     "list-archs": _cmd_list_archs,
     "show-arch": _cmd_show_arch,
@@ -432,6 +614,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "simulate": _cmd_simulate,
     "bench": _cmd_bench,
+    "campaign": _cmd_campaign,
 }
 
 

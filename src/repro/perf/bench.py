@@ -196,6 +196,45 @@ def _run_property_check(state):
     return functional, performance, equivalence
 
 
+def _setup_campaign_sweep(quick: bool):
+    from ..campaign import family_sweep
+
+    if quick:
+        # 8 small family members; still a real 2-process shard.
+        return family_sweep(
+            name="bench-quick",
+            registers=(2,),
+            widths=(1, 2),
+            depths=(3, 4),
+            styles=("bypass", "blocking"),
+            workers=2,
+            workload_length=24,
+            max_faults=2,
+        )
+    return family_sweep(
+        name="bench-full",
+        registers=(2, 4),
+        widths=(1, 2),
+        depths=(4, 5),
+        styles=("bypass", "blocking"),
+        workers=2,
+        workload_length=48,
+        max_faults=4,
+    )
+
+
+def _run_campaign_sweep(spec):
+    from ..campaign import run_campaign
+
+    # No result store: every repetition re-verifies the whole family, so
+    # the timing measures the orchestrated verification work, not the
+    # content-hash cache.
+    report = run_campaign(spec, store=None, use_cache=False)
+    if not report.all_ok():
+        raise AssertionError("campaign benchmark must verify the whole family")
+    return report
+
+
 def _setup_bmc(quick: bool):
     # Large enough (4-register scoreboard, bound 6) that the timing is
     # dominated by the checker, not by per-run noise — a millisecond-scale
@@ -281,6 +320,16 @@ _SCENARIOS: List[Scenario] = [
         setup=_setup_property_check,
         run=_run_property_check,
         meta={"kind": "property-check"},
+    ),
+    Scenario(
+        name="campaign_sweep",
+        description="parallel verification campaign over the parametric "
+        "architecture family (full job pipeline per member: properties, "
+        "derivation, maximality, obligations, faults, analysis) sharded "
+        "across 2 worker processes, caching disabled",
+        setup=_setup_campaign_sweep,
+        run=_run_campaign_sweep,
+        meta={"kind": "campaign-orchestration"},
     ),
     Scenario(
         name="bmc_stuck_reset",

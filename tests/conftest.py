@@ -7,7 +7,10 @@ smaller expansion keeps BDDs and expression trees quick to build.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.archs import (
     example_architecture,
@@ -16,6 +19,21 @@ from repro.archs import (
 )
 from repro.pipeline.interlock import ClosedFormInterlock
 from repro.spec import build_functional_spec, symbolic_most_liberal
+
+# Shared CI runners are slow and noisy: wall-clock deadlines flake and a
+# full example budget wastes matrix minutes.  The "ci" profile (loaded
+# whenever CI=1, which GitHub Actions sets) disables deadlines and trims
+# the example count; local runs keep hypothesis defaults apart from the
+# deadline, which the BDD-heavy properties routinely exceed on cold
+# caches.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture(scope="session")

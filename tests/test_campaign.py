@@ -1,0 +1,312 @@
+"""Tests for the parallel verification-campaign subsystem."""
+
+import io
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignSpecError,
+    JobSpec,
+    ResultStore,
+    family_sweep,
+    run_campaign,
+    run_verification_job,
+)
+from repro.campaign.runner import JobResult, StageResult
+from repro.cli import main as cli_main
+
+#: Small enough that a full six-stage job takes ~0.1 s.
+TINY = dict(workload_length=24, max_faults=2)
+
+
+def tiny_job(arch="fam-r2w1d3s1-bypass", **overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return JobSpec(arch=arch, **params)
+
+
+class TestSpecs:
+    def test_job_round_trip(self):
+        job = tiny_job(stages=("derive", "properties"), workload_seed=7)
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_stages_normalized_to_canonical_order(self):
+        job = tiny_job(stages=("faults", "derive", "properties"))
+        assert job.stages == ("properties", "derive", "faults")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(CampaignSpecError):
+            tiny_job(stages=("transmogrify",))
+
+    def test_unknown_job_field_rejected(self):
+        with pytest.raises(CampaignSpecError):
+            JobSpec.from_dict({"arch": "risc5", "solvent": True})
+
+    def test_campaign_json_round_trip(self):
+        spec = family_sweep(
+            name="round-trip",
+            registers=(2,),
+            widths=(1, 2),
+            depths=(3,),
+            styles=("bypass",),
+            extra_archs=("risc5",),
+            workers=3,
+        )
+        assert CampaignSpec.loads(spec.dumps()) == spec
+
+    def test_campaign_file_round_trip(self, tmp_path):
+        spec = family_sweep(registers=(2,), widths=(1,), depths=(3,), styles=("bypass",))
+        path = tmp_path / "campaign.json"
+        spec.save(str(path))
+        assert CampaignSpec.load(str(path)) == spec
+
+    def test_job_key_is_stable_and_parameter_sensitive(self):
+        job = tiny_job()
+        assert job.job_key() == tiny_job().job_key()
+        assert job.job_key() != tiny_job(workload_seed=1).job_key()
+        assert job.job_key() != tiny_job(arch="fam-r2w1d3s1-blocking").job_key()
+
+    def test_family_sweep_covers_the_grid(self):
+        spec = family_sweep(
+            registers=(2, 4), widths=(1, 2), depths=(3, 4), styles=("bypass", "blocking")
+        )
+        assert len(spec.jobs) == 16
+        assert len({job.arch for job in spec.jobs}) == 16
+
+
+class TestRunner:
+    def test_tiny_job_passes_every_stage(self):
+        result = run_verification_job(tiny_job())
+        assert result.ok, result.error
+        assert [stage.name for stage in result.stages] == list(tiny_job().stages)
+        assert all(stage.ok for stage in result.stages)
+        assert result.stage("derive").details["moe_flags"] > 0
+        assert result.stage("analysis").details["unnecessary_stalls"] == 0
+        assert result.stage("faults").details["missed"] == 0
+
+    def test_stage_subset_runs_only_those_stages(self):
+        result = run_verification_job(tiny_job(stages=("properties", "maximality")))
+        assert result.ok, result.error
+        assert [stage.name for stage in result.stages] == ["properties", "maximality"]
+
+    def test_unknown_architecture_fails_cleanly(self):
+        result = run_verification_job(tiny_job(arch="fam-r2w1d3s1-psychic"))
+        assert not result.ok
+        assert result.error is not None
+        assert "psychic" in result.error
+
+    def test_result_round_trip(self):
+        result = run_verification_job(tiny_job(stages=("derive",)))
+        rebuilt = JobResult.from_dict(result.as_dict())
+        assert rebuilt.ok == result.ok
+        assert rebuilt.job == result.job
+        assert [s.as_dict() for s in rebuilt.stages] == [
+            s.as_dict() for s in result.stages
+        ]
+
+    def test_result_schema_guard(self):
+        payload = run_verification_job(tiny_job(stages=("derive",))).as_dict()
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            JobResult.from_dict(payload)
+
+
+class TestStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        job = tiny_job(stages=("derive",))
+        assert store.get(job) is None
+        result = run_verification_job(job)
+        store.put(job, result)
+        hit = store.get(job)
+        assert hit is not None and hit.ok == result.ok
+        assert len(store) == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = tiny_job(stages=("derive",))
+        store.path_for(job).write_text("{not json", encoding="utf-8")
+        assert store.get(job) is None
+
+    def test_mismatched_job_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = tiny_job(stages=("derive",))
+        other = tiny_job(stages=("derive",), workload_seed=5)
+        store.put(job, run_verification_job(job))
+        # Force the other job's result under this job's key.
+        store.path_for(job).write_text(
+            json.dumps(run_verification_job(other).as_dict()), encoding="utf-8"
+        )
+        assert store.get(job) is None
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = tiny_job(stages=("derive",))
+        store.put(job, run_verification_job(job))
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_leaked_temp_file_is_not_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / ".tmp-leaked.part").write_text("{}", encoding="utf-8")
+        assert len(store) == 0
+        assert store.keys() == []
+
+
+def small_campaign(workers=1, **job_overrides):
+    params = dict(TINY)
+    params.update(job_overrides)
+    return family_sweep(
+        name="test-campaign",
+        registers=(2,),
+        widths=(1, 2),
+        depths=(3,),
+        styles=("bypass", "blocking"),
+        workers=workers,
+        workload_length=params["workload_length"],
+        max_faults=params["max_faults"],
+    )
+
+
+class TestOrchestrator:
+    def test_serial_campaign_all_pass(self, tmp_path):
+        spec = small_campaign(workers=1)
+        report = run_campaign(spec, store=ResultStore(tmp_path))
+        assert report.total() == 4
+        assert report.all_ok()
+        assert not report.cached()
+
+    def test_second_run_hits_the_cache(self, tmp_path):
+        spec = small_campaign(workers=1)
+        store = ResultStore(tmp_path)
+        run_campaign(spec, store=store)
+        report = run_campaign(spec, store=store)
+        assert report.all_ok()
+        assert len(report.cached()) == report.total()
+        assert report.timing_summary()["total"] == 0.0  # nothing ran fresh
+
+    def test_no_cache_reruns_everything(self, tmp_path):
+        spec = small_campaign(workers=1)
+        store = ResultStore(tmp_path)
+        run_campaign(spec, store=store)
+        report = run_campaign(spec, store=store, use_cache=False)
+        assert not report.cached()
+
+    def test_process_pool_campaign(self, tmp_path):
+        spec = small_campaign(workers=2)
+        lines = []
+        report = run_campaign(spec, store=ResultStore(tmp_path), progress=lines.append)
+        assert report.all_ok()
+        assert report.workers == 2
+        assert len(lines) == report.total()
+
+    def test_failures_are_reported_not_raised_and_not_cached(self, tmp_path):
+        spec = CampaignSpec(
+            name="with-failure",
+            jobs=(tiny_job(stages=("derive",)), tiny_job(arch="fam-nonsense")),
+            workers=1,
+        )
+        store = ResultStore(tmp_path)
+        report = run_campaign(spec, store=store)
+        assert not report.all_ok()
+        assert len(report.failed()) == 1
+        assert len(report.errored()) == 1
+        assert len(store) == 1  # only the passing job was cached
+        rerun = run_campaign(spec, store=store)
+        assert len(rerun.cached()) == 1  # the failure re-ran
+
+    def test_report_aggregation(self, tmp_path):
+        spec = small_campaign(workers=1)
+        report = run_campaign(spec, store=ResultStore(tmp_path))
+        payload = report.as_dict()
+        assert payload["total"] == 4
+        assert payload["passed"] == 4
+        assert payload["stage_pass_rates"]["derive"].startswith("4/4")
+        text = report.describe()
+        assert "test-campaign" in text
+        assert "fam-r2w2d3s1-blocking" in text
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = cli_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCampaignCli:
+    def test_list_does_not_verify(self, tmp_path):
+        code, output = run_cli(
+            "campaign", "--registers", "2", "--widths", "1,2", "--depths", "3",
+            "--styles", "bypass", "--list", "--store", str(tmp_path / "s"),
+        )
+        assert code == 0
+        assert "2 jobs" in output
+        assert "fam-r2w2d3s1-bypass" in output
+
+    def test_sweep_report_and_cache(self, tmp_path):
+        store = str(tmp_path / "store")
+        report_path = str(tmp_path / "report.json")
+        args = (
+            "campaign", "--registers", "2", "--widths", "1", "--depths", "3",
+            "--styles", "bypass,blocking", "--workers", "1",
+            "--length", "24", "--max-faults", "1",
+            "--store", store, "--report", report_path,
+        )
+        code, output = run_cli(*args)
+        assert code == 0
+        assert "2/2 (100%) passed" in output
+        payload = json.loads(open(report_path, encoding="utf-8").read())
+        assert payload["passed"] == 2
+        code, output = run_cli(*args)
+        assert code == 0
+        assert output.count("cached (ok)") == 2
+
+    def test_campaign_file_and_named_archs(self, tmp_path):
+        saved = str(tmp_path / "campaign.json")
+        code, output = run_cli(
+            "campaign", "--no-family", "--arch", "risc5",
+            "--length", "24", "--max-faults", "1", "--workers", "1",
+            "--store", str(tmp_path / "store"), "--save-campaign", saved, "--list",
+        )
+        assert code == 0
+        spec = CampaignSpec.load(saved)
+        assert [job.arch for job in spec.jobs] == ["risc5"]
+        code, output = run_cli(
+            "campaign", "--campaign-file", saved, "--workers", "1",
+            "--store", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "risc5" in output
+
+    def test_csv_options_tolerate_spaces(self, tmp_path):
+        code, output = run_cli(
+            "campaign", "--registers", "2", "--widths", "1", "--depths", "3",
+            "--styles", "bypass, blocking", "--stages", "properties, derive",
+            "--list", "--store", str(tmp_path / "s"),
+        )
+        assert code == 0
+        assert "2 jobs" in output
+        assert "stages=properties,derive" in output
+
+    def test_no_family_without_archs_is_an_error(self, tmp_path):
+        code, _ = run_cli("campaign", "--no-family", "--store", str(tmp_path / "s"))
+        assert code == 2
+
+    def test_arch_accepts_family_names_everywhere(self):
+        code, output = run_cli("show-arch", "--arch", "fam-r2w2d3s1-bypass")
+        assert code == 0
+        assert "fam-r2w2d3s1-bypass" in output
+        code, output = run_cli("derive", "--arch", "fam-r2w1d3s1-blocking")
+        assert code == 0
+        assert "MOE" in output or "moe" in output
+
+    def test_unknown_arch_is_a_clean_cli_error(self):
+        code, _ = run_cli("show-arch", "--arch", "fam-unparseable")
+        assert code == 2
+
+
+def test_stage_result_round_trip():
+    stage = StageResult(name="derive", ok=True, seconds=0.25, details={"n": 3})
+    assert StageResult.from_dict(stage.as_dict()).as_dict() == stage.as_dict()
