@@ -1,7 +1,7 @@
 """Reduced ordered BDD package used by the specification and checking layers."""
 
 from .expr_to_bdd import ExprBddContext, compile_expr
-from .manager import FALSE_NODE, TRUE_NODE, BddManager
+from .manager import FALSE_NODE, TRUE_NODE, BddManager, BddStats, CoverBudgetExceeded
 from .ordering import (
     interleaved_order,
     occurrence_order,
@@ -13,6 +13,8 @@ from .ordering import (
 
 __all__ = [
     "BddManager",
+    "BddStats",
+    "CoverBudgetExceeded",
     "FALSE_NODE",
     "TRUE_NODE",
     "ExprBddContext",

@@ -25,6 +25,11 @@ def compile_expr(
     if cache is None:
         cache = {}
 
+    # The local cache holds raw node ids across many public operations, so
+    # an automatic reorder in the middle could reclaim nodes only these
+    # locals reference; postpone it until the compile finishes.
+    postpone = manager.postpone_reorder
+
     def rec(node: Expr) -> int:
         if node in cache:
             return cache[node]
@@ -49,7 +54,8 @@ def compile_expr(
         cache[node] = result
         return result
 
-    return rec(expr)
+    with postpone():
+        return rec(expr)
 
 
 class ExprBddContext:
@@ -62,6 +68,12 @@ class ExprBddContext:
     def __init__(self, variable_order: Optional[Sequence[str]] = None):
         self.manager = BddManager(variable_order)
         self._cache: Dict[Expr, int] = {}
+        # Compiled nodes persist in this cache; after a sweep, reclaimed
+        # ids are reused and must not keep denoting old expressions.
+        self.manager.add_sweep_hook(self._on_sweep)
+
+    def _on_sweep(self, alive) -> None:
+        self._cache = {expr: node for expr, node in self._cache.items() if alive(node)}
 
     def compile(self, expr: Expr) -> int:
         """Compile an expression to a BDD node (cached across calls)."""

@@ -6,36 +6,115 @@ comparison — exactly what the property checker in :mod:`repro.checking`
 relies on to compare a pipeline interlock implementation with the derived
 maximum-performance specification.
 
-Nodes are integers indexing into the manager's node arrays.  The two
+Nodes are integers indexing into the manager's node store.  The two
 terminals are ``0`` (FALSE) and ``1`` (TRUE).  Complement edges are not
 used; instead negation is a dedicated involution with its own cache, which
 keeps the node representation simple while still making ``¬¬f`` and
 ``f ∧ ¬f`` constant time.
 
-The operation kernel is iterative (explicit work stack, no Python recursion
-limit) and memoises through a single operation-tagged cache: conjunction
-and disjunction are normalised to a standardized form — commuted operands
-are swapped into a canonical order and if-then-else triples that denote
-them are rewritten to the tagged binary form — so calls that commute or
-only differ syntactically hit the same memo entry.  Exclusive-or and
-equivalence are expressed as if-then-else products (without complement
-edges a dedicated xor form would materialise negated cones).
-Quantification is a single multi-variable pass, and the fused
-``and_exists`` relational product conjoins and quantifies in one sweep
-without building the intermediate conjunction.
+Storage layout (the array kernel)
+---------------------------------
+
+The node store is struct-of-arrays: three parallel flat vectors ``_var``
+/ ``_lo`` / ``_hi`` hold the level and the two children of every node
+(plain lists — on CPython an indexed list read is measurably faster than
+``array('q')``, which re-boxes every element), and ``_ref`` is an
+``array('q')`` of external protection counts for garbage collection (a
+contiguous buffer numpy can view zero-copy when marking roots).  A freed
+slot has ``_var[i] == -1`` and sits on the free list; allocation reuses
+freed slots before growing the vectors, so node ids are stable across
+collections.
+
+The unique table is split per level: each level owns a dict mapping the
+packed ``(lo << 26) | hi`` key to the node id.  CPython dicts *are*
+open-addressed tables implemented in C — a hand-rolled linear-probe
+loop in bytecode is ~3x slower per probe — so the dict is the fastest
+available open-addressed backing.  GC and sifting rebuild the per-level
+tables from the surviving nodes; splitting by level is what makes an
+adjacent-level swap O(size of the two levels) instead of O(all nodes).
+
+All memo tables are flat dictionaries keyed on packed machine integers:
+an operation key packs its operands into one int with a 3-bit operation
+tag in the low bits, so the hot loops of apply, fused quantification,
+composition and ISOP never build key tuples.  Because every packed key
+is at least ``2 ** 26`` (operands are shifted left past the node-id
+width) an ``int`` result can be told apart from a pending task by a
+single comparison against :data:`_NODE_LIMIT`.
+
+The operation kernel is iterative (explicit work stack, no Python
+recursion limit): conjunction and disjunction are normalised to a
+standardized form — commuted operands are swapped into a canonical order
+and if-then-else triples that denote them are rewritten to the tagged
+binary form — so calls that commute or only differ syntactically hit the
+same memo entry.  Quantification is a single multi-variable pass, and
+the fused ``and_exists`` relational product conjoins and quantifies in
+one sweep without building the intermediate conjunction.
+
+Garbage collection and reordering
+---------------------------------
+
+:meth:`BddManager.gc` is a mark-and-sweep over the flat arrays: roots
+are the nodes with a positive ``_ref`` count (see :meth:`protect` /
+:meth:`release`; ``SymbolicFunction`` handles protect their node
+automatically) plus any ``extra_roots``.  Sweeping clears the operation
+and ISOP memo tables, filters the negation cache down to live pairs,
+rebuilds the per-level unique tables and invokes registered sweep hooks
+so higher layers can drop entries for reclaimed ids (crucial: ids are
+reused, so a stale cache entry would silently alias a new function).
+When numpy is available the mark phase runs vectorised over views of the
+node arrays; set ``REPRO_PURE_ARRAY=1`` (or pass ``use_numpy=False``) to
+force the pure-``array`` fallback.
+
+:meth:`BddManager.reorder` is Rudell-style sifting built on in-place
+adjacent-level swaps: a swap relabels and rewrites nodes *in place*, so
+node ids keep denoting the same functions and caller-held handles stay
+valid.  Nodes orphaned by a swap are reclaimed immediately through an
+in-degree cascade, which is what gives sifting a size signal to descend.
+Because of that reclamation, every externally held node must be
+protected (or held through a ``SymbolicFunction``) before calling
+``reorder`` — the same contract as ``gc``.  An automatic trigger on
+unique-table growth is available via ``auto_reorder_threshold`` and is
+off by default: it is only safe for workloads that protect every raw
+node id they hold across public operations.
 """
 
 from __future__ import annotations
 
+import os
 import sys
+from array import array
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via the REPRO_PURE_ARRAY CI leg
+    if os.environ.get("REPRO_PURE_ARRAY"):
+        raise ImportError("pure-array mode forced by REPRO_PURE_ARRAY")
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 FALSE_NODE = 0
 TRUE_NODE = 1
 
 _TERMINAL_LEVEL = 2**31
 
+# Node ids are packed into 26-bit fields of the integer cache keys, so the
+# store is capped at ~67M nodes — far beyond what fits in memory here, but
+# checked on allocation so overflow can never corrupt a packed key.
+_NODE_BITS = 26
+_NODE_LIMIT = 1 << _NODE_BITS
+_NODE_MASK = _NODE_LIMIT - 1
+
+# Operation tags occupy the low 3 bits of every packed cache key.
+_TAG_AND = 0
+_TAG_OR = 1
+_TAG_ITE = 2
+_TAG_E = 3
+_TAG_A = 4
+_TAG_EA = 5
+_TAG_CONSTRAIN = 6
+_TAG_RESTRICT = 7
 
 class CoverBudgetExceeded(RuntimeError):
     """Raised by :meth:`BddManager.isop` when a cover outgrows ``max_cubes``.
@@ -45,30 +124,117 @@ class CoverBudgetExceeded(RuntimeError):
     """
 
 
-class BddManager:
-    """Owns the unique table, the variable order and all BDD operations."""
+@dataclass
+class BddStats:
+    """A snapshot of kernel health counters (see :meth:`BddManager.stats`)."""
 
-    def __init__(self, variable_order: Optional[Sequence[str]] = None):
-        # Node storage: parallel lists indexed by node id.
-        # Terminals occupy ids 0 and 1 with a sentinel level.
-        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
-        self._low: List[int] = [FALSE_NODE, TRUE_NODE]
-        self._high: List[int] = [FALSE_NODE, TRUE_NODE]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        # Operation-tagged memo table shared by every operator: keys are
-        # ('and'|'or', a, b) with a < b, ('ite', f, g, h) for triples that
-        # do not reduce to a conjunction or disjunction, and
-        # ('E'|'A'|'EA', ...) for the quantification sweeps.
-        self._op_cache: Dict[tuple, int] = {}
+    live_nodes: int
+    allocated_slots: int
+    free_slots: int
+    num_vars: int
+    unique_entries: int
+    unique_capacity: int
+    load_factor: float
+    op_cache_entries: int
+    not_cache_entries: int
+    isop_cache_entries: int
+    cache_hits: int
+    cache_misses: int
+    hit_rate: float
+    gc_runs: int
+    gc_reclaimed: int
+    reorder_runs: int
+    reorder_swaps: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """The counters as a plain JSON-friendly dict."""
+        return {
+            "live_nodes": self.live_nodes,
+            "allocated_slots": self.allocated_slots,
+            "free_slots": self.free_slots,
+            "num_vars": self.num_vars,
+            "unique_entries": self.unique_entries,
+            "unique_capacity": self.unique_capacity,
+            "load_factor": round(self.load_factor, 4),
+            "op_cache_entries": self.op_cache_entries,
+            "not_cache_entries": self.not_cache_entries,
+            "isop_cache_entries": self.isop_cache_entries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "gc_runs": self.gc_runs,
+            "gc_reclaimed": self.gc_reclaimed,
+            "reorder_runs": self.reorder_runs,
+            "reorder_swaps": self.reorder_swaps,
+        }
+
+    def describe(self) -> str:
+        """A compact human-readable rendering for ``--verbose`` output."""
+        return (
+            f"nodes: {self.live_nodes} live / {self.allocated_slots} allocated"
+            f" ({self.free_slots} free), {self.num_vars} variables\n"
+            f"unique table: {self.unique_entries} entries in"
+            f" {self.unique_capacity} slots (load {self.load_factor:.2f})\n"
+            f"caches: op {self.op_cache_entries}, not {self.not_cache_entries},"
+            f" isop {self.isop_cache_entries};"
+            f" hit rate {self.hit_rate:.1%}"
+            f" ({self.cache_hits} hits / {self.cache_misses} misses)\n"
+            f"gc: {self.gc_runs} runs, {self.gc_reclaimed} nodes reclaimed;"
+            f" reorder: {self.reorder_runs} runs, {self.reorder_swaps} swaps"
+        )
+
+
+class BddManager:
+    """Owns the node store, the variable order and all BDD operations."""
+
+    def __init__(
+        self,
+        variable_order: Optional[Sequence[str]] = None,
+        *,
+        auto_reorder_threshold: Optional[int] = None,
+        use_numpy: Optional[bool] = None,
+        balanced_reduce: bool = False,
+    ):
+        # Struct-of-arrays node store; terminals occupy ids 0 and 1 with a
+        # sentinel level.  A freed slot has _var[i] == -1.
+        self._var: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._lo: List[int] = [FALSE_NODE, TRUE_NODE]
+        self._hi: List[int] = [FALSE_NODE, TRUE_NODE]
+        self._ref = array("q", (0, 0))
+        self._free: List[int] = []
+        # Per-level unique tables: packed (lo << 26) | hi key -> node id.
+        self._utables: List[Dict[int, int]] = []
+        self._entries = 0
+        # Operation memo table shared by every operator, keyed on packed
+        # integers (operands shifted left, 3-bit tag in the low bits).
+        self._op_cache: Dict[int, int] = {}
         # Negation cache (an involution: both directions are stored).
         self._not_cache: Dict[int, int] = {}
         # Interned quantification variable sets: frozenset of levels -> key.
         self._quant_sets: Dict[frozenset, int] = {}
         self._quant_levels: List[Tuple[frozenset, int]] = []
-        # ISOP (irredundant sum-of-products) memo: (lower, upper) -> (node, cubes).
-        self._isop_cache: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
+        self._quant_names: List[frozenset] = []
+        # ISOP memo: packed (lower << 26) | upper -> (node, cubes).
+        # key -> (node, cube_count, spine); see isop() for the spine encoding.
+        self._isop_cache: Dict[int, tuple] = {}
         self._var_levels: Dict[str, int] = {}
         self._level_vars: List[str] = []
+        # How and_all/or_all combine their operands; see _reduce_connective.
+        self._balanced_reduce = balanced_reduce
+        # GC / reorder machinery.
+        self._sweep_hooks: List[Callable[[Callable[[int], bool]], None]] = []
+        self._reorder_inhibit = 0
+        self._auto_reorder_threshold = auto_reorder_threshold
+        if use_numpy is None:
+            use_numpy = _np is not None
+        self._numpy = _np if (use_numpy and _np is not None) else None
+        # Health counters.
+        self._hits = 0
+        self._misses = 0
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._reorder_runs = 0
+        self._reorder_swaps = 0
         if variable_order is not None:
             for name in variable_order:
                 self.declare(name)
@@ -77,11 +243,13 @@ class BddManager:
 
     def declare(self, name: str) -> int:
         """Declare a variable (idempotent) and return its level."""
-        if name in self._var_levels:
-            return self._var_levels[name]
+        level = self._var_levels.get(name)
+        if level is not None:
+            return level
         level = len(self._level_vars)
         self._var_levels[name] = level
         self._level_vars.append(name)
+        self._utables.append({})
         return level
 
     def variable_order(self) -> List[str]:
@@ -97,23 +265,57 @@ class BddManager:
         return self._level_vars[level]
 
     def num_nodes(self) -> int:
-        """Total number of allocated nodes including terminals."""
-        return len(self._level)
+        """Number of live (allocated, not freed) nodes including terminals."""
+        return self._entries + 2
+
+    # -- unique tables ---------------------------------------------------------
+    #
+    # Each level's table maps the packed ``(lo << 26) | hi`` key to the node
+    # id.  The mapping is a plain dict: CPython dicts are open-addressed
+    # hash tables implemented in C, and a packed-int-keyed dict probe beats
+    # any probe sequence interpreted in bytecode by ~3x.  The per-level
+    # split (rather than one global table) is what keeps an adjacent-level
+    # swap proportional to the two levels involved.
+
+    def _table_insert(self, level: int, node: int) -> None:
+        """Insert an existing node into its level table (swap/rebuild path)."""
+        self._utables[level][(self._lo[node] << _NODE_BITS) | self._hi[node]] = node
+
+    def _table_remove(self, level: int, node: int) -> None:
+        """Remove a node from its level table."""
+        del self._utables[level][(self._lo[node] << _NODE_BITS) | self._hi[node]]
+
+    def _table_nodes(self, level: int) -> List[int]:
+        return list(self._utables[level].values())
 
     # -- node construction -----------------------------------------------------
+
+    def _alloc(self, level: int, low: int, high: int) -> int:
+        if self._free:
+            node = self._free.pop()
+            self._var[node] = level
+            self._lo[node] = low
+            self._hi[node] = high
+        else:
+            node = len(self._var)
+            if node >= _NODE_LIMIT:  # pragma: no cover - 67M-node ceiling
+                raise MemoryError("BDD node store exceeded 2**26 nodes")
+            self._var.append(level)
+            self._lo.append(low)
+            self._hi.append(high)
+            self._ref.append(0)
+        return node
 
     def _make_node(self, level: int, low: int, high: int) -> int:
         if low == high:
             return low
-        key = (level, low, high)
-        node = self._unique.get(key)
-        if node is not None:
-            return node
-        node = len(self._level)
-        self._level.append(level)
-        self._low.append(low)
-        self._high.append(high)
-        self._unique[key] = node
+        table = self._utables[level]
+        k = (low << _NODE_BITS) | high
+        node = table.get(k)
+        if node is None:
+            node = self._alloc(level, low, high)
+            table[k] = node
+            self._entries += 1
         return node
 
     def var(self, name: str) -> int:
@@ -136,9 +338,13 @@ class BddManager:
 
     # -- normalisation ----------------------------------------------------------
 
-    def _norm2(self, op: str, a: int, b: int):
-        """Standardize a binary operation; an ``int`` result is already decided."""
-        if op == "and":
+    def _norm2(self, tag: int, a: int, b: int) -> int:
+        """Standardize a binary operation.
+
+        Returns either a decided node id (``< _NODE_LIMIT``) or a packed
+        task key with canonically ordered operands.
+        """
+        if tag == _TAG_AND:
             if a == FALSE_NODE or b == FALSE_NODE:
                 return FALSE_NODE
             if a == TRUE_NODE:
@@ -162,18 +368,18 @@ class BddManager:
                 return TRUE_NODE
         if a > b:
             a, b = b, a
-        return (op, a, b)
+        return (((a << _NODE_BITS) | b) << 3) | tag
 
-    def _norm_ite(self, f: int, g: int, h: int):
-        """Standardize an if-then-else triple.
+    def _norm_ite(self, f: int, g: int, h: int) -> int:
+        """Standardize an if-then-else triple into a decided node or a task key.
 
         Triples denoting a conjunction or disjunction are rewritten to the
         tagged commutative form so that, for example, ``ite(f, g, 0)`` and
-        ``ite(g, f, 0)`` land on the same ``('and', ...)`` memo entry.
-        Rewrites that would require a negation only fire when the negation
-        is already in the cache (a free dictionary lookup); materialising
-        new negated cones here would blow the unique table up instead of
-        speeding anything up.
+        ``ite(g, f, 0)`` land on the same memo entry.  Rewrites that would
+        require a negation only fire when the negation is already in the
+        cache (a free dictionary lookup); materialising new negated cones
+        here would blow the unique table up instead of speeding anything
+        up.
         """
         if f == TRUE_NODE:
             return g
@@ -184,126 +390,84 @@ class BddManager:
         if g == TRUE_NODE:
             if h == FALSE_NODE:
                 return f
-            return self._norm2("or", f, h)
+            return self._norm2(_TAG_OR, f, h)
         if g == FALSE_NODE and h == TRUE_NODE:
             return self.not_(f)
         if h == FALSE_NODE:
-            return self._norm2("and", f, g)
+            return self._norm2(_TAG_AND, f, g)
         if g == f:
-            return self._norm2("or", f, h)
+            return self._norm2(_TAG_OR, f, h)
         if h == f:
-            return self._norm2("and", f, g)
+            return self._norm2(_TAG_AND, f, g)
         nf = self._not_cache.get(f)
         if nf is not None:
             if h == TRUE_NODE or h == nf:
-                return self._norm2("or", nf, g)
+                return self._norm2(_TAG_OR, nf, g)
             if g == FALSE_NODE or g == nf:
-                return self._norm2("and", nf, h)
-        return ("ite", f, g, h)
+                return self._norm2(_TAG_AND, nf, h)
+        return ((((f << _NODE_BITS) | g) << _NODE_BITS | h) << 3) | _TAG_ITE
 
-    def _norm_quant(self, tag: str, node: int, quant_key: int):
+    def _norm_quant(self, tag: int, node: int, quant_key: int) -> int:
         if node <= TRUE_NODE:
             return node
-        if self._level[node] > self._quant_levels[quant_key][1]:
+        if self._var[node] > self._quant_levels[quant_key][1]:
             return node
-        return (tag, node, quant_key)
+        return (((node << _NODE_BITS) | quant_key) << 3) | tag
 
-    def _norm_and_exists(self, f: int, g: int, quant_key: int):
+    def _norm_and_exists(self, f: int, g: int, quant_key: int) -> int:
         if f == FALSE_NODE or g == FALSE_NODE:
             return FALSE_NODE
         if f == g or g == TRUE_NODE:
-            return self._norm_quant("E", f, quant_key)
+            return self._norm_quant(_TAG_E, f, quant_key)
         if f == TRUE_NODE:
-            return self._norm_quant("E", g, quant_key)
+            return self._norm_quant(_TAG_E, g, quant_key)
         if self._not_cache.get(f) == g:
             return FALSE_NODE
         max_level = self._quant_levels[quant_key][1]
-        if self._level[f] > max_level and self._level[g] > max_level:
-            return self._norm2("and", f, g)
+        if self._var[f] > max_level and self._var[g] > max_level:
+            return self._norm2(_TAG_AND, f, g)
         if f > g:
             f, g = g, f
-        return ("EA", f, g, quant_key)
+        return ((((f << _NODE_BITS) | g) << _NODE_BITS | quant_key) << 3) | _TAG_EA
 
     # -- the iterative operation kernel ------------------------------------------
 
-    def _expand(self, key: tuple):
-        """One-time expansion of a task frame: ``(level, low_key, high_key, combine)``.
-
-        ``combine`` names how the two child results are joined: ``None`` for
-        a plain node at ``level``, ``'or'``/``'and'`` for a quantified level
-        (where ``low == 1``/``0`` respectively also short-circuits).
-        """
-        levels = self._level
-        lows = self._low
-        highs = self._high
-        op = key[0]
-        if op == "E" or op == "A":
-            _, node, quant_key = key
-            level = levels[node]
-            low_key = self._norm_quant(op, lows[node], quant_key)
-            high_key = self._norm_quant(op, highs[node], quant_key)
-            if level in self._quant_levels[quant_key][0]:
-                combine = "or" if op == "E" else "and"
-            else:
-                combine = None
-            return level, low_key, high_key, combine
-        if op == "EA":
-            _, f, g, quant_key = key
-            lf, lg = levels[f], levels[g]
-            level = lf if lf < lg else lg
-            if lf == level:
-                f0, f1 = lows[f], highs[f]
-            else:
-                f0 = f1 = f
-            if lg == level:
-                g0, g1 = lows[g], highs[g]
-            else:
-                g0 = g1 = g
-            low_key = self._norm_and_exists(f0, g0, quant_key)
-            high_key = self._norm_and_exists(f1, g1, quant_key)
-            combine = "or" if level in self._quant_levels[quant_key][0] else None
-            return level, low_key, high_key, combine
-        # 'and' | 'or' (only reached via quantification combine steps)
-        _, a, b = key
-        la, lb = levels[a], levels[b]
-        level = la if la < lb else lb
-        if la == level:
-            a0, a1 = lows[a], highs[a]
-        else:
-            a0 = a1 = a
-        if lb == level:
-            b0, b1 = lows[b], highs[b]
-        else:
-            b0 = b1 = b
-        return level, self._norm2(op, a0, b0), self._norm2(op, a1, b1), None
-
-    def _run_binary(self, op: str, root_a: int, root_b: int) -> int:
+    def _run_binary(self, tag: int, root_a: int, root_b: int) -> int:
         """Tight inlined work-stack loop for AND / OR (the hot operations).
 
         Conjunction and disjunction dominate every compile and check
         workload, so their cofactor expansion, child normalisation, memo
-        lookup and unique-table insertion are all inlined into one loop —
-        no helper calls, no per-frame allocations beyond small tuples.
-        Children of an AND/OR task are always same-op tasks, so the loop
-        never leaves its operation.
+        lookup and unique-table insertion are all inlined into one loop.
+        Frames and cache keys are packed machine integers — no per-frame
+        tuple allocation at all.  Children of an AND/OR task are always
+        same-op tasks, so the loop never leaves its operation.
         """
         cache = self._op_cache
-        unique = self._unique
-        levels = self._level
-        lows = self._low
-        highs = self._high
-        nots = self._not_cache
-        is_and = op == "and"
-        stack = [(root_a, root_b)]
+        cache_get = cache.get
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        nots_get = self._not_cache.get
+        utables = self._utables
+        free = self._free
+        ref_append = self._ref.append
+        var_append = self._var.append
+        lo_append = self._lo.append
+        hi_append = self._hi.append
+        entries_added = 0
+        is_and = tag == _TAG_AND
+        stack = [(root_a << _NODE_BITS) | root_b]
         push = stack.append
         while stack:
-            a, b = stack[-1]
-            key = (op, a, b)
+            frame = stack[-1]
+            key = (frame << 3) | tag
             if key in cache:
                 stack.pop()
                 continue
-            la = levels[a]
-            lb = levels[b]
+            a = frame >> _NODE_BITS
+            b = frame & _NODE_MASK
+            la = var[a]
+            lb = var[b]
             level = la if la < lb else lb
             if la == level:
                 a0, a1 = lows[a], highs[a]
@@ -313,7 +477,10 @@ class BddManager:
                 b0, b1 = lows[b], highs[b]
             else:
                 b0 = b1 = b
-            # Low child, normalisation inlined.
+            # Both children are normalised and probed before any push, so a
+            # frame whose children both miss is reprocessed once, not twice.
+            # -1 marks a cache miss (node ids and task results are >= 0).
+            child_lo = child_hi = -1
             if is_and:
                 if a0 == 0 or b0 == 0:
                     low = 0
@@ -323,14 +490,24 @@ class BddManager:
                     low = a0
                 elif a0 == b0:
                     low = a0
-                elif nots.get(a0) == b0:
+                elif nots_get(a0) == b0:
                     low = 0
                 else:
-                    child = (op, a0, b0) if a0 < b0 else (op, b0, a0)
-                    low = cache.get(child)
-                    if low is None:
-                        push((child[1], child[2]))
-                        continue
+                    child_lo = (a0 << _NODE_BITS) | b0 if a0 < b0 else (b0 << _NODE_BITS) | a0
+                    low = cache_get((child_lo << 3) | tag, -1)
+                if a1 == 0 or b1 == 0:
+                    high = 0
+                elif a1 == 1:
+                    high = b1
+                elif b1 == 1:
+                    high = a1
+                elif a1 == b1:
+                    high = a1
+                elif nots_get(a1) == b1:
+                    high = 0
+                else:
+                    child_hi = (a1 << _NODE_BITS) | b1 if a1 < b1 else (b1 << _NODE_BITS) | a1
+                    high = cache_get((child_hi << 3) | tag, -1)
             else:
                 if a0 == 1 or b0 == 1:
                     low = 1
@@ -340,33 +517,11 @@ class BddManager:
                     low = a0
                 elif a0 == b0:
                     low = a0
-                elif nots.get(a0) == b0:
+                elif nots_get(a0) == b0:
                     low = 1
                 else:
-                    child = (op, a0, b0) if a0 < b0 else (op, b0, a0)
-                    low = cache.get(child)
-                    if low is None:
-                        push((child[1], child[2]))
-                        continue
-            # High child.
-            if is_and:
-                if a1 == 0 or b1 == 0:
-                    high = 0
-                elif a1 == 1:
-                    high = b1
-                elif b1 == 1:
-                    high = a1
-                elif a1 == b1:
-                    high = a1
-                elif nots.get(a1) == b1:
-                    high = 0
-                else:
-                    child = (op, a1, b1) if a1 < b1 else (op, b1, a1)
-                    high = cache.get(child)
-                    if high is None:
-                        push((child[1], child[2]))
-                        continue
-            else:
+                    child_lo = (a0 << _NODE_BITS) | b0 if a0 < b0 else (b0 << _NODE_BITS) | a0
+                    low = cache_get((child_lo << 3) | tag, -1)
                 if a1 == 1 or b1 == 1:
                     high = 1
                 elif a1 == 0:
@@ -375,54 +530,73 @@ class BddManager:
                     high = a1
                 elif a1 == b1:
                     high = a1
-                elif nots.get(a1) == b1:
+                elif nots_get(a1) == b1:
                     high = 1
                 else:
-                    child = (op, a1, b1) if a1 < b1 else (op, b1, a1)
-                    high = cache.get(child)
-                    if high is None:
-                        push((child[1], child[2]))
-                        continue
-            # Unique-table insertion, inlined.
+                    child_hi = (a1 << _NODE_BITS) | b1 if a1 < b1 else (b1 << _NODE_BITS) | a1
+                    high = cache_get((child_hi << 3) | tag, -1)
+            if low < 0:
+                push(child_lo)
+                if high < 0 and child_hi != child_lo:
+                    push(child_hi)
+                continue
+            if high < 0:
+                push(child_hi)
+                continue
+            # Unique-table insertion, inlined (including allocation).
             if low == high:
                 result = low
             else:
-                nkey = (level, low, high)
-                result = unique.get(nkey)
+                table = utables[level]
+                k = (low << _NODE_BITS) | high
+                result = table.get(k)
                 if result is None:
-                    result = len(levels)
-                    levels.append(level)
-                    lows.append(low)
-                    highs.append(high)
-                    unique[nkey] = result
+                    if free:
+                        result = free.pop()
+                        var[result] = level
+                        lows[result] = low
+                        highs[result] = high
+                    else:
+                        result = len(var)
+                        if result >= _NODE_LIMIT:  # pragma: no cover
+                            raise MemoryError("BDD node store exceeded 2**26 nodes")
+                        var_append(level)
+                        lo_append(low)
+                        hi_append(high)
+                        ref_append(0)
+                    table[k] = result
+                    entries_added += 1
             cache[key] = result
             stack.pop()
-        return cache[(op, root_a, root_b)]
+        self._entries += entries_added
+        return cache[(((root_a << _NODE_BITS) | root_b) << 3) | tag]
 
     def _run_ite(self, root_f: int, root_g: int, root_h: int) -> int:
         """Inlined work-stack loop for general if-then-else triples.
 
         Mirrors :meth:`_run_binary`: cofactor expansion, memo lookup and
-        unique-table insertion are inlined; child triples that normalise to
-        a conjunction or disjunction are delegated to the binary loop.
+        unique-table insertion are inlined; child triples that normalise
+        to a conjunction or disjunction are delegated to the binary loop.
         """
         cache = self._op_cache
-        unique = self._unique
-        levels = self._level
-        lows = self._low
-        highs = self._high
+        var = self._var
+        lows = self._lo
+        highs = self._hi
         norm_ite = self._norm_ite
-        stack = [(root_f, root_g, root_h)]
+        stack = [((root_f << _NODE_BITS) | root_g) << _NODE_BITS | root_h]
         push = stack.append
         while stack:
-            f, g, h = stack[-1]
-            key = ("ite", f, g, h)
+            frame = stack[-1]
+            key = (frame << 3) | _TAG_ITE
             if key in cache:
                 stack.pop()
                 continue
-            lf = levels[f]
-            lg = levels[g]
-            lh = levels[h]
+            h = frame & _NODE_MASK
+            g = (frame >> _NODE_BITS) & _NODE_MASK
+            f = frame >> (2 * _NODE_BITS)
+            lf = var[f]
+            lg = var[g]
+            lh = var[h]
             level = lf if lf < lg else lg
             if lh < level:
                 level = lh
@@ -439,49 +613,85 @@ class BddManager:
             else:
                 h0 = h1 = h
             low_key = norm_ite(f0, g0, h0)
-            if type(low_key) is tuple:
+            if low_key >= _NODE_LIMIT:
                 low = cache.get(low_key)
                 if low is None:
-                    if low_key[0] == "ite":
-                        push((low_key[1], low_key[2], low_key[3]))
+                    ctag = low_key & 7
+                    if ctag == _TAG_ITE:
+                        push(low_key >> 3)
                         continue
-                    low = self._run_binary(low_key[0], low_key[1], low_key[2])
+                    body = low_key >> 3
+                    low = self._run_binary(ctag, body >> _NODE_BITS, body & _NODE_MASK)
             else:
                 low = low_key
             high_key = norm_ite(f1, g1, h1)
-            if type(high_key) is tuple:
+            if high_key >= _NODE_LIMIT:
                 high = cache.get(high_key)
                 if high is None:
-                    if high_key[0] == "ite":
-                        push((high_key[1], high_key[2], high_key[3]))
+                    ctag = high_key & 7
+                    if ctag == _TAG_ITE:
+                        push(high_key >> 3)
                         continue
-                    high = self._run_binary(high_key[0], high_key[1], high_key[2])
+                    body = high_key >> 3
+                    high = self._run_binary(ctag, body >> _NODE_BITS, body & _NODE_MASK)
             else:
                 high = high_key
-            if low == high:
-                result = low
-            else:
-                nkey = (level, low, high)
-                result = unique.get(nkey)
-                if result is None:
-                    result = len(levels)
-                    levels.append(level)
-                    lows.append(low)
-                    highs.append(high)
-                    unique[nkey] = result
-            cache[key] = result
+            cache[key] = self._make_node(level, low, high)
             stack.pop()
-        return cache[("ite", root_f, root_g, root_h)]
+        return cache[((((root_f << _NODE_BITS) | root_g) << _NODE_BITS | root_h) << 3) | _TAG_ITE]
 
-    def _run(self, root: tuple) -> int:
+    def _expand(self, key: int):
+        """One-time expansion of a quantification task frame.
+
+        Returns ``(level, low_key, high_key, combine)`` where ``combine``
+        names how the two child results are joined: ``-1`` for a plain
+        node at ``level``, or a binary tag for a quantified level (where
+        a dominant low result also short-circuits).
+        """
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        tag = key & 7
+        body = key >> 3
+        if tag == _TAG_E or tag == _TAG_A:
+            quant_key = body & _NODE_MASK
+            node = body >> _NODE_BITS
+            level = var[node]
+            low_key = self._norm_quant(tag, lows[node], quant_key)
+            high_key = self._norm_quant(tag, highs[node], quant_key)
+            if level in self._quant_levels[quant_key][0]:
+                combine = _TAG_OR if tag == _TAG_E else _TAG_AND
+            else:
+                combine = -1
+            return level, low_key, high_key, combine
+        # _TAG_EA
+        quant_key = body & _NODE_MASK
+        rest = body >> _NODE_BITS
+        g = rest & _NODE_MASK
+        f = rest >> _NODE_BITS
+        lf, lg = var[f], var[g]
+        level = lf if lf < lg else lg
+        if lf == level:
+            f0, f1 = lows[f], highs[f]
+        else:
+            f0 = f1 = f
+        if lg == level:
+            g0, g1 = lows[g], highs[g]
+        else:
+            g0 = g1 = g
+        low_key = self._norm_and_exists(f0, g0, quant_key)
+        high_key = self._norm_and_exists(f1, g1, quant_key)
+        combine = _TAG_OR if level in self._quant_levels[quant_key][0] else -1
+        return level, low_key, high_key, combine
+
+    def _run(self, root: int) -> int:
         """Evaluate one normalised quantification task (and what it spawns).
 
-        The generic engine for the quantification sweeps; AND/OR and
-        if-then-else subtrees spawned by normalisation are delegated to the
-        specialised inlined loops.  An explicit work stack replaces
-        recursion, so operand depth is bounded by available memory rather
-        than the Python recursion limit; a frame is re-examined after each
-        missing child completes.
+        The generic engine for the quantification sweeps; AND/OR subtrees
+        spawned by normalisation are delegated to the specialised inlined
+        loop.  An explicit work stack replaces recursion, so operand depth
+        is bounded by available memory rather than the Python recursion
+        limit; a frame is re-examined after each missing child completes.
         """
         cache = self._op_cache
         stack = [root]
@@ -492,65 +702,97 @@ class BddManager:
                 stack.pop()
                 continue
             level, low_key, high_key, combine = self._expand(key)
-            if type(low_key) is tuple:
+            if low_key >= _NODE_LIMIT:
                 low = cache.get(low_key)
                 if low is None:
-                    lop = low_key[0]
-                    if lop == "and" or lop == "or":
-                        low = self._run_binary(lop, low_key[1], low_key[2])
-                    elif lop == "ite":
-                        low = self._run_ite(low_key[1], low_key[2], low_key[3])
+                    ctag = low_key & 7
+                    if ctag == _TAG_AND or ctag == _TAG_OR:
+                        body = low_key >> 3
+                        low = self._run_binary(ctag, body >> _NODE_BITS, body & _NODE_MASK)
                     else:
                         push(low_key)
                         continue
             else:
                 low = low_key
-            if combine is not None and low == (TRUE_NODE if combine == "or" else FALSE_NODE):
+            if combine >= 0 and low == (TRUE_NODE if combine == _TAG_OR else FALSE_NODE):
                 cache[key] = low
                 stack.pop()
                 continue
-            if type(high_key) is tuple:
+            if high_key >= _NODE_LIMIT:
                 high = cache.get(high_key)
                 if high is None:
-                    hop = high_key[0]
-                    if hop == "and" or hop == "or":
-                        high = self._run_binary(hop, high_key[1], high_key[2])
-                    elif hop == "ite":
-                        high = self._run_ite(high_key[1], high_key[2], high_key[3])
+                    ctag = high_key & 7
+                    if ctag == _TAG_AND or ctag == _TAG_OR:
+                        body = high_key >> 3
+                        high = self._run_binary(ctag, body >> _NODE_BITS, body & _NODE_MASK)
                     else:
                         push(high_key)
                         continue
             else:
                 high = high_key
-            if combine is None:
+            if combine < 0:
                 cache[key] = self._make_node(level, low, high)
             else:
                 cache[key] = self._binary(combine, low, high)
             stack.pop()
         return cache[root]
 
-    def _binary(self, op: str, a: int, b: int) -> int:
-        key = self._norm2(op, a, b)
-        if type(key) is not tuple:
-            return key
-        cached = self._op_cache.get(key)
+    def _binary(self, tag: int, a: int, b: int) -> int:
+        # _norm2 inlined: three-quarters of all calls are decided here, so
+        # the extra call level would be pure overhead on the hot path.
+        if tag == _TAG_AND:
+            if a == FALSE_NODE or b == FALSE_NODE:
+                return FALSE_NODE
+            if a == TRUE_NODE:
+                return b
+            if b == TRUE_NODE:
+                return a
+            if a == b:
+                return a
+            if self._not_cache.get(a) == b:
+                return FALSE_NODE
+        else:  # or
+            if a == TRUE_NODE or b == TRUE_NODE:
+                return TRUE_NODE
+            if a == FALSE_NODE:
+                return b
+            if b == FALSE_NODE:
+                return a
+            if a == b:
+                return a
+            if self._not_cache.get(a) == b:
+                return TRUE_NODE
+        if a > b:
+            a, b = b, a
+        cached = self._op_cache.get((((a << _NODE_BITS) | b) << 3) | tag)
         if cached is not None:
+            self._hits += 1
             return cached
-        return self._run_binary(key[0], key[1], key[2])
+        self._misses += 1
+        return self._run_binary(tag, a, b)
 
     # -- core operations --------------------------------------------------------
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: the function ``f ? g : h``; all boolean ops reduce to it."""
+        self._maybe_reorder(f, g, h)
         key = self._norm_ite(f, g, h)
-        if type(key) is not tuple:
+        if key < _NODE_LIMIT:
             return key
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._hits += 1
             return cached
-        if key[0] == "ite":
-            return self._run_ite(key[1], key[2], key[3])
-        return self._run_binary(key[0], key[1], key[2])
+        self._misses += 1
+        tag = key & 7
+        body = key >> 3
+        if tag == _TAG_ITE:
+            return self._run_ite(
+                body >> (2 * _NODE_BITS),
+                (body >> _NODE_BITS) & _NODE_MASK,
+                body & _NODE_MASK,
+            )
+        return self._run_binary(tag, body >> _NODE_BITS, body & _NODE_MASK)
 
     def not_(self, f: int) -> int:
         """Negation (a cached involution: ``not_(not_(f))`` is free)."""
@@ -560,31 +802,46 @@ class BddManager:
         cached = cache.get(f)
         if cached is not None:
             return cached
-        levels = self._level
-        lows = self._low
-        highs = self._high
+        cache_get = cache.get
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        utables = self._utables
         stack = [f]
+        push = stack.append
         while stack:
             node = stack[-1]
             if node in cache:
                 stack.pop()
                 continue
             low, high = lows[node], highs[node]
+            # Probe both children before pushing (one reprocessing pass).
             if low <= TRUE_NODE:
                 nlow = TRUE_NODE - low
             else:
-                nlow = cache.get(low)
-                if nlow is None:
-                    stack.append(low)
-                    continue
+                nlow = cache_get(low, -1)
             if high <= TRUE_NODE:
                 nhigh = TRUE_NODE - high
             else:
-                nhigh = cache.get(high)
-                if nhigh is None:
-                    stack.append(high)
-                    continue
-            result = self._make_node(levels[node], nlow, nhigh)
+                nhigh = cache_get(high, -1)
+            if nlow < 0:
+                push(low)
+                if nhigh < 0:
+                    push(high)
+                continue
+            if nhigh < 0:
+                push(high)
+                continue
+            # Unique-table insertion, inlined (nlow != nhigh always: the
+            # complement of a canonical node is canonical).
+            level = var[node]
+            table = utables[level]
+            k = (nlow << _NODE_BITS) | nhigh
+            result = table.get(k)
+            if result is None:
+                result = self._alloc(level, nlow, nhigh)
+                table[k] = result
+                self._entries += 1
             cache[node] = result
             cache[result] = node
             stack.pop()
@@ -592,11 +849,13 @@ class BddManager:
 
     def and_(self, f: int, g: int) -> int:
         """Conjunction."""
-        return self._binary("and", f, g)
+        self._maybe_reorder(f, g)
+        return self._binary(_TAG_AND, f, g)
 
     def or_(self, f: int, g: int) -> int:
         """Disjunction."""
-        return self._binary("or", f, g)
+        self._maybe_reorder(f, g)
+        return self._binary(_TAG_OR, f, g)
 
     def xor(self, f: int, g: int) -> int:
         """Exclusive or."""
@@ -611,108 +870,253 @@ class BddManager:
         return self.ite(f, g, self.not_(g))
 
     def and_all(self, nodes: Iterable[int]) -> int:
-        """Conjunction of many functions."""
-        out = TRUE_NODE
-        for node in nodes:
-            out = self._binary("and", out, node)
-            if out == FALSE_NODE:
-                return FALSE_NODE
+        """Conjunction of many functions.
+
+        A product of single-variable literals (every scoreboard stall cube
+        is one) takes the zero-apply literal-chain fast path; anything
+        else goes through :meth:`_reduce_connective`, which picks the
+        combination shape by operand size.
+        """
+        items = [node for node in nodes if node != TRUE_NODE]
+        if FALSE_NODE in items:
+            return FALSE_NODE
+        if not items:
+            return TRUE_NODE
+        cube = self._literal_cube(items)
+        if cube is not None:
+            return cube
+        self._maybe_reorder(*items)
+        return self._reduce_connective(_TAG_AND, items, FALSE_NODE)
+
+    def _reduce_connective(self, tag: int, items: List[int], absorbing: int) -> int:
+        """Combine many operands under one commutative connective.
+
+        The profitable shape depends on how operand supports relate to
+        the variable order, which only the *owner* of the order knows —
+        hence the ``balanced_reduce`` construction knob rather than a
+        local heuristic (operand sizes do not discriminate: the same
+        cube lists occur in both regimes).
+
+        ``balanced_reduce=True`` — a balanced pairwise tree.  Right when
+        operand supports are localized bands of the order, e.g.
+        per-register stall cubes under the register-interleaved
+        derivation order: intermediates combine neighbouring bands and
+        stay proportional to their own span, where a sequential fold
+        rebuilds the whole accumulated result per operand (quadratic).
+
+        ``balanced_reduce=False`` (default) — a sequential fold in the
+        order the operands arrive.  Right for non-localized workloads
+        (the property checker's default-order contexts): there the
+        balanced tree builds large intermediate combinations only to
+        throw them away — measured 5-10x slower — while the sequential
+        small × accumulated-result fold stays near-linear.
+        """
+        binary = self._binary
+        if self._balanced_reduce:
+            while len(items) > 1:
+                paired: List[int] = []
+                append = paired.append
+                for i in range(1, len(items), 2):
+                    result = binary(tag, items[i - 1], items[i])
+                    if result == absorbing:
+                        return absorbing
+                    append(result)
+                if len(items) & 1:
+                    append(items[-1])
+                items = paired
+            return items[0]
+        out = items[0]
+        for node in items[1:]:
+            out = binary(tag, out, node)
+            if out == absorbing:
+                return absorbing
         return out
 
+    def _literal_cube(self, items: List[int]) -> Optional[int]:
+        """Direct unique-table chain for a conjunction of literals.
+
+        A product of single-variable literals is an ``if``-chain with one
+        node per distinct variable; when every operand is a literal the
+        chain is built bottom-up with plain unique-table lookups — no
+        apply sweeps, no operation-cache traffic.  Returns ``None`` when
+        some operand is not a literal (the caller falls back to apply).
+        """
+        lows = self._lo
+        highs = self._hi
+        var = self._var
+        literals: Dict[int, bool] = {}
+        for node in items:
+            lo = lows[node]
+            if lo > TRUE_NODE or highs[node] > TRUE_NODE:
+                return None
+            polarity = lo == FALSE_NODE
+            level = var[node]
+            seen = literals.get(level)
+            if seen is None:
+                literals[level] = polarity
+            elif seen != polarity:
+                return FALSE_NODE
+        result = TRUE_NODE
+        for level in sorted(literals, reverse=True):
+            if literals[level]:
+                result = self._make_node(level, FALSE_NODE, result)
+            else:
+                result = self._make_node(level, result, FALSE_NODE)
+        return result
+
     def or_all(self, nodes: Iterable[int]) -> int:
-        """Disjunction of many functions."""
-        out = FALSE_NODE
-        for node in nodes:
-            out = self._binary("or", out, node)
-            if out == TRUE_NODE:
+        """Disjunction of many functions (dual of :meth:`and_all`)."""
+        items = [node for node in nodes if node != FALSE_NODE]
+        if TRUE_NODE in items:
+            return TRUE_NODE
+        if not items:
+            return FALSE_NODE
+        clause = self._literal_clause(items)
+        if clause is not None:
+            return clause
+        self._maybe_reorder(*items)
+        return self._reduce_connective(_TAG_OR, items, TRUE_NODE)
+
+    def _literal_clause(self, items: List[int]) -> Optional[int]:
+        """Direct unique-table chain for a disjunction of literals.
+
+        Dual of :meth:`_literal_cube`: a sum of single-variable literals
+        is an ``else``-chain built bottom-up without apply sweeps.
+        Returns ``None`` when some operand is not a literal.
+        """
+        lows = self._lo
+        highs = self._hi
+        var = self._var
+        literals: Dict[int, bool] = {}
+        for node in items:
+            lo = lows[node]
+            if lo > TRUE_NODE or highs[node] > TRUE_NODE:
+                return None
+            polarity = lo == FALSE_NODE
+            level = var[node]
+            seen = literals.get(level)
+            if seen is None:
+                literals[level] = polarity
+            elif seen != polarity:
                 return TRUE_NODE
-        return out
+        result = FALSE_NODE
+        for level in sorted(literals, reverse=True):
+            if literals[level]:
+                result = self._make_node(level, result, TRUE_NODE)
+            else:
+                result = self._make_node(level, TRUE_NODE, result)
+        return result
 
     # -- restriction, composition, quantification -------------------------------
 
     def restrict(self, f: int, name: str, value: bool) -> int:
         """Cofactor of ``f`` with variable ``name`` fixed to ``value``."""
         level = self.declare(name)
+        var = self._var
+        lows = self._lo
+        highs = self._hi
         cache: Dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            if node in (FALSE_NODE, TRUE_NODE) or self._level[node] > level:
-                return node
+        if f <= TRUE_NODE or var[f] > level:
+            return f
+        stack = [f]
+        push = stack.append
+        while stack:
+            node = stack[-1]
             if node in cache:
-                return cache[node]
-            if self._level[node] == level:
-                result = self._high[node] if value else self._low[node]
+                stack.pop()
+                continue
+            node_level = var[node]
+            if node_level == level:
+                cache[node] = highs[node] if value else lows[node]
+                stack.pop()
+                continue
+            c0 = lows[node]
+            if c0 <= TRUE_NODE or var[c0] > level:
+                low = c0
             else:
-                low = rec(self._low[node])
-                high = rec(self._high[node])
-                result = self._make_node(self._level[node], low, high)
-            cache[node] = result
-            return result
-
-        return rec(f)
+                low = cache.get(c0)
+                if low is None:
+                    push(c0)
+                    continue
+            c1 = highs[node]
+            if c1 <= TRUE_NODE or var[c1] > level:
+                high = c1
+            else:
+                high = cache.get(c1)
+                if high is None:
+                    push(c1)
+                    continue
+            cache[node] = self._make_node(node_level, low, high)
+            stack.pop()
+        return cache[f]
 
     def compose(self, f: int, name: str, g: int) -> int:
         """Substitute function ``g`` for variable ``name`` in ``f``."""
-        level = self.declare(name)
-        cache: Dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            if node in (FALSE_NODE, TRUE_NODE) or self._level[node] > level:
-                return node
-            if node in cache:
-                return cache[node]
-            node_level = self._level[node]
-            low = rec(self._low[node])
-            high = rec(self._high[node])
-            if node_level == level:
-                result = self.ite(g, high, low)
-            elif self._level[low] > node_level and self._level[high] > node_level:
-                result = self._make_node(node_level, low, high)
-            else:
-                # Substitution below pulled in variables at or above this
-                # level; rebuild through ite to restore the variable order.
-                result = self.ite(
-                    self._make_node(node_level, FALSE_NODE, TRUE_NODE), high, low
-                )
-            cache[node] = result
-            return result
-
-        return rec(f)
+        return self.compose_many(f, {name: g})
 
     def compose_many(self, f: int, mapping: Dict[str, int]) -> int:
         """Simultaneous substitution of several variables by functions.
 
-        Implemented by recursion on levels using ``ite`` so the substitution
-        really is simultaneous (inner compositions do not see each other's
-        replacements).
+        Implemented by an iterative sweep over levels using ``ite`` so the
+        substitution really is simultaneous (inner compositions do not see
+        each other's replacements).  Nodes strictly below the deepest
+        substituted level are returned unchanged without being visited —
+        in the derivation fixed point the mode-enable flags sit at the top
+        of the order, so this cutoff skips almost the whole operand.
         """
         if not mapping:
             return f
-        levels = {self.declare(name): g for name, g in mapping.items()}
+        self._maybe_reorder(f, *mapping.values())
+        subst = {self.declare(name): g for name, g in mapping.items()}
+        max_level = max(subst)
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        if f <= TRUE_NODE or var[f] > max_level:
+            return f
         cache: Dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            if node in (FALSE_NODE, TRUE_NODE):
-                return node
-            if node in cache:
-                return cache[node]
-            level = self._level[node]
-            low = rec(self._low[node])
-            high = rec(self._high[node])
-            if level in levels:
-                result = self.ite(levels[level], high, low)
-            elif self._level[low] > level and self._level[high] > level:
-                result = self._make_node(level, low, high)
-            else:
-                # Substitution below pulled in variables at or above this
-                # level; rebuild through ite to restore the variable order.
-                result = self.ite(
-                    self._make_node(level, FALSE_NODE, TRUE_NODE), high, low
-                )
-            cache[node] = result
-            return result
-
-        return rec(f)
+        self._reorder_inhibit += 1
+        try:
+            stack = [f]
+            push = stack.append
+            while stack:
+                node = stack[-1]
+                if node in cache:
+                    stack.pop()
+                    continue
+                c0 = lows[node]
+                if c0 <= TRUE_NODE or var[c0] > max_level:
+                    low = c0
+                else:
+                    low = cache.get(c0)
+                    if low is None:
+                        push(c0)
+                        continue
+                c1 = highs[node]
+                if c1 <= TRUE_NODE or var[c1] > max_level:
+                    high = c1
+                else:
+                    high = cache.get(c1)
+                    if high is None:
+                        push(c1)
+                        continue
+                level = var[node]
+                g = subst.get(level)
+                if g is not None:
+                    result = self.ite(g, high, low)
+                elif var[low] > level and var[high] > level:
+                    result = self._make_node(level, low, high)
+                else:
+                    # Substitution below pulled in variables at or above
+                    # this level; rebuild through ite to restore the order.
+                    result = self.ite(
+                        self._make_node(level, FALSE_NODE, TRUE_NODE), high, low
+                    )
+                cache[node] = result
+                stack.pop()
+            return cache[f]
+        finally:
+            self._reorder_inhibit -= 1
 
     # -- generalized cofactors and covers ----------------------------------------
 
@@ -720,13 +1124,13 @@ class BddManager:
     def _level_bounded_recursion(self):
         """Lift the interpreter recursion limit to the depth the order needs.
 
-        The operation kernel is iterative (PR 1) and never touches this,
-        but the cover/cofactor algorithms below are clearest recursive and
-        descend at most one frame per variable level — a *bounded* depth,
-        unlike the operand-shaped recursion the kernel eliminated.  Wide
-        orders (hundreds of registers expand to thousands of one-hot
-        levels) would still trip CPython's default 1000-frame limit, so the
-        limit is raised to cover the declared order and restored on exit.
+        The operation kernel is iterative and never touches this, but the
+        cover/cofactor algorithms below are clearest recursive and descend
+        at most one frame per variable level — a *bounded* depth, unlike
+        the operand-shaped recursion the kernel eliminated.  Wide orders
+        (hundreds of registers expand to thousands of one-hot levels)
+        would still trip CPython's default 1000-frame limit, so the limit
+        is raised to cover the declared order and restored on exit.
         """
         depth = 0
         frame = sys._getframe()
@@ -746,8 +1150,8 @@ class BddManager:
 
     def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
         """The (low, high) cofactors of ``node`` with respect to ``level``."""
-        if self._level[node] == level:
-            return self._low[node], self._high[node]
+        if self._var[node] == level:
+            return self._lo[node], self._hi[node]
         return node, node
 
     def constrain(self, f: int, care: int) -> int:
@@ -761,6 +1165,7 @@ class BddManager:
         """
         if care == FALSE_NODE:
             raise ValueError("constrain against an empty care set is undefined")
+        self._maybe_reorder(f, care)
         cache = self._op_cache
 
         def rec(f: int, c: int) -> int:
@@ -770,11 +1175,11 @@ class BddManager:
                 return TRUE_NODE
             if self._not_cache.get(f) == c:
                 return FALSE_NODE
-            key = ("constrain", f, c)
+            key = (((f << _NODE_BITS) | c) << 3) | _TAG_CONSTRAIN
             cached = cache.get(key)
             if cached is not None:
                 return cached
-            level = min(self._level[f], self._level[c])
+            level = min(self._var[f], self._var[c])
             c0, c1 = self._cofactors(c, level)
             f0, f1 = self._cofactors(f, level)
             if c1 == FALSE_NODE:
@@ -786,8 +1191,12 @@ class BddManager:
             cache[key] = result
             return result
 
-        with self._level_bounded_recursion():
-            return rec(f, care)
+        self._reorder_inhibit += 1
+        try:
+            with self._level_bounded_recursion():
+                return rec(f, care)
+        finally:
+            self._reorder_inhibit -= 1
 
     def restrict_with(self, f: int, care: int) -> int:
         """The Coudert–Madre *restrict* operator: simplify ``f`` on the care set.
@@ -801,6 +1210,7 @@ class BddManager:
         """
         if care == FALSE_NODE:
             raise ValueError("restrict against an empty care set is undefined")
+        self._maybe_reorder(f, care)
         cache = self._op_cache
 
         def rec(f: int, c: int) -> int:
@@ -810,30 +1220,34 @@ class BddManager:
                 return TRUE_NODE
             if self._not_cache.get(f) == c:
                 return FALSE_NODE
-            key = ("restrict", f, c)
+            key = (((f << _NODE_BITS) | c) << 3) | _TAG_RESTRICT
             cached = cache.get(key)
             if cached is not None:
                 return cached
-            level_f = self._level[f]
-            level_c = self._level[c]
+            level_f = self._var[f]
+            level_c = self._var[c]
             if level_c < level_f:
                 # f does not test this care variable: drop it existentially.
-                result = rec(f, self._binary("or", self._low[c], self._high[c]))
+                result = rec(f, self._binary(_TAG_OR, self._lo[c], self._hi[c]))
             else:
                 c0, c1 = self._cofactors(c, level_f)
                 if c1 == FALSE_NODE:
-                    result = rec(self._low[f], c0)
+                    result = rec(self._lo[f], c0)
                 elif c0 == FALSE_NODE:
-                    result = rec(self._high[f], c1)
+                    result = rec(self._hi[f], c1)
                 else:
                     result = self._make_node(
-                        level_f, rec(self._low[f], c0), rec(self._high[f], c1)
+                        level_f, rec(self._lo[f], c0), rec(self._hi[f], c1)
                     )
             cache[key] = result
             return result
 
-        with self._level_bounded_recursion():
-            return rec(f, care)
+        self._reorder_inhibit += 1
+        try:
+            with self._level_bounded_recursion():
+                return rec(f, care)
+        finally:
+            self._reorder_inhibit -= 1
 
     def isop(
         self, lower: int, upper: int, max_cubes: Optional[int] = None
@@ -846,8 +1260,8 @@ class BddManager:
         upper`` (callers must ensure ``lower`` implies ``upper``; pass the
         same node twice for an exact cover).  The cover is irredundant: no
         cube or literal can be dropped without uncovering part of ``lower``.
-        Both the node and the cube list are memoised, so materializing the
-        same function twice is free.
+        The recursion is memoised structurally (as lazy cover spines), so
+        materializing the same function twice costs only the final flatten.
 
         ``max_cubes`` bounds the size of any intermediate cover; when
         exceeded :class:`CoverBudgetExceeded` is raised.  A mostly-true
@@ -857,59 +1271,129 @@ class BddManager:
         an abort stay cached, so a retry (or the other polarity) reuses
         them.
         """
+        self._maybe_reorder(lower, upper)
         cache = self._isop_cache
+        binary = self._binary
+        not_ = self.not_
+        nots = self._not_cache
+        var = self._var
+        lows = self._lo
+        highs = self._hi
 
-        def rec(lo: int, up: int) -> Tuple[int, tuple]:
+        # The recursion carries a lazy *spine* instead of concrete cube
+        # tuples: ``0`` is the empty cover, ``1`` the tautology cube, and
+        # ``(level, s0, s1, sd)`` a branch.  Prepending this level's literal
+        # to every cube below (as the textbook formulation does) makes the
+        # total work quadratic in cover depth; the spine makes each combine
+        # O(1) and the cubes are materialized once, at the top, only for
+        # covers that actually complete within budget.
+
+        def rec(lo: int, up: int) -> tuple:
             if lo == FALSE_NODE:
-                return FALSE_NODE, ()
+                return FALSE_NODE, 0, 0
             if up == TRUE_NODE:
-                return TRUE_NODE, ((),)
-            key = (lo, up)
+                return TRUE_NODE, 1, 1
+            key = (lo << _NODE_BITS) | up
             cached = cache.get(key)
             if cached is not None:
-                if max_cubes is not None and len(cached[1]) > max_cubes:
-                    raise CoverBudgetExceeded(
-                        f"cover exceeds {max_cubes} cubes"
-                    )
+                if max_cubes is not None and cached[1] > max_cubes:
+                    raise CoverBudgetExceeded(f"cover exceeds {max_cubes} cubes")
                 return cached
-            level = min(self._level[lo], self._level[up])
-            lo0, lo1 = self._cofactors(lo, level)
-            up0, up1 = self._cofactors(up, level)
+            llo = var[lo]
+            lup = var[up]
+            level = llo if llo < lup else lup
+            if llo == level:
+                lo0, lo1 = lows[lo], highs[lo]
+            else:
+                lo0 = lo1 = lo
+            if lup == level:
+                up0, up1 = lows[up], highs[up]
+            else:
+                up0 = up1 = up
             # Cubes that must contain the negative literal of this variable
             # cover the part of the low on-set excluded from the high bound,
-            # and dually for the positive literal.
-            node0, cubes0 = rec(self._binary("and", lo0, self.not_(up1)), up0)
-            node1, cubes1 = rec(self._binary("and", lo1, self.not_(up0)), up1)
+            # and dually for the positive literal.  The constant cases are
+            # resolved inline — most of them are, and each saves a negation
+            # lookup, an apply probe and a recursive call.
+            if lo0 == FALSE_NODE or up1 == TRUE_NODE:
+                node0 = count0 = s0 = 0
+            else:
+                n_up1 = nots.get(up1)
+                if n_up1 is None:
+                    n_up1 = not_(up1)
+                node0, count0, s0 = rec(binary(_TAG_AND, lo0, n_up1), up0)
+            if lo1 == FALSE_NODE or up0 == TRUE_NODE:
+                node1 = count1 = s1 = 0
+            else:
+                n_up0 = nots.get(up0)
+                if n_up0 is None:
+                    n_up0 = not_(up0)
+                node1, count1, s1 = rec(binary(_TAG_AND, lo1, n_up0), up1)
             # Whatever the literal cubes left uncovered may be covered by
             # cubes that do not mention the variable at all.
-            rest_lower = self._binary(
-                "or",
-                self._binary("and", lo0, self.not_(node0)),
-                self._binary("and", lo1, self.not_(node1)),
-            )
-            node_d, cubes_d = rec(rest_lower, self._binary("and", up0, up1))
-            node = self._binary(
-                "or",
-                self._binary(
-                    "or",
-                    self._binary("and", self._make_node(level, TRUE_NODE, FALSE_NODE), node0),
-                    self._binary("and", self._make_node(level, FALSE_NODE, TRUE_NODE), node1),
-                ),
-                node_d,
-            )
-            cubes = (
-                tuple(((level, False),) + cube for cube in cubes0)
-                + tuple(((level, True),) + cube for cube in cubes1)
-                + cubes_d
-            )
-            if max_cubes is not None and len(cubes) > max_cubes:
+            if node0 == FALSE_NODE:
+                part0 = lo0
+            else:
+                n_node0 = nots.get(node0)
+                if n_node0 is None:
+                    n_node0 = not_(node0)
+                part0 = binary(_TAG_AND, lo0, n_node0)
+            if node1 == FALSE_NODE:
+                part1 = lo1
+            else:
+                n_node1 = nots.get(node1)
+                if n_node1 is None:
+                    n_node1 = not_(node1)
+                part1 = binary(_TAG_AND, lo1, n_node1)
+            if part0 == FALSE_NODE and part1 == FALSE_NODE:
+                node_d = count_d = sd = 0
+            else:
+                rest_lower = binary(_TAG_OR, part0, part1)
+                upper_d = up0 if up0 == up1 else binary(_TAG_AND, up0, up1)
+                node_d, count_d, sd = rec(rest_lower, upper_d)
+            # The cover node is x'·node0 + x·node1 + node_d; every summand's
+            # support sits strictly below this level, so the Shannon form
+            # (x ? node1 + node_d : node0 + node_d) builds it with two
+            # disjunctions and one unique-table lookup instead of five
+            # apply sweeps.
+            if node_d == FALSE_NODE:
+                branch0, branch1 = node0, node1
+            else:
+                branch0 = node_d if node0 == FALSE_NODE else binary(_TAG_OR, node0, node_d)
+                branch1 = node_d if node1 == FALSE_NODE else binary(_TAG_OR, node1, node_d)
+            node = self._make_node(level, branch0, branch1)
+            count = count0 + count1 + count_d
+            if max_cubes is not None and count > max_cubes:
                 raise CoverBudgetExceeded(f"cover exceeds {max_cubes} cubes")
-            result = (node, cubes)
+            result = (node, count, (level, s0, s1, sd))
             cache[key] = result
             return result
 
-        with self._level_bounded_recursion():
-            return rec(lower, upper)
+        cubes_out: List[tuple] = []
+        prefix: List[Tuple[int, bool]] = []
+
+        def flatten(spine) -> None:
+            if spine == 1:
+                cubes_out.append(tuple(prefix))
+                return
+            if spine == 0:
+                return
+            level, s0, s1, sd = spine
+            prefix.append((level, False))
+            flatten(s0)
+            prefix[-1] = (level, True)
+            flatten(s1)
+            prefix.pop()
+            flatten(sd)
+
+        self._reorder_inhibit += 1
+        try:
+            with self._level_bounded_recursion():
+                node, _, spine = rec(lower, upper)
+                flatten(spine)
+                return node, tuple(cubes_out)
+        finally:
+            self._reorder_inhibit -= 1
 
     def isop_cover(self, f: int, care: Optional[int] = None) -> List[Dict[str, bool]]:
         """An irredundant SOP cover of ``f`` as name-keyed cubes.
@@ -922,8 +1406,8 @@ class BddManager:
         if care is None:
             lower = upper = f
         else:
-            lower = self._binary("and", f, care)
-            upper = self._binary("or", f, self.not_(care))
+            lower = self._binary(_TAG_AND, f, care)
+            upper = self._binary(_TAG_OR, f, self.not_(care))
         _, cubes = self.isop(lower, upper)
         return [
             {self._level_vars[level]: polarity for level, polarity in cube}
@@ -931,7 +1415,8 @@ class BddManager:
         ]
 
     def _quant_key(self, names: Iterable[str]) -> Optional[int]:
-        levels = frozenset(self.declare(name) for name in names)
+        name_list = list(names)
+        levels = frozenset(self.declare(name) for name in name_list)
         if not levels:
             return None
         key = self._quant_sets.get(levels)
@@ -939,18 +1424,22 @@ class BddManager:
             key = len(self._quant_levels)
             self._quant_sets[levels] = key
             self._quant_levels.append((levels, max(levels)))
+            self._quant_names.append(frozenset(name_list))
         return key
 
-    def _quantify(self, tag: str, f: int, names: Iterable[str]) -> int:
+    def _quantify(self, tag: int, f: int, names: Iterable[str]) -> int:
+        self._maybe_reorder(f)
         quant_key = self._quant_key(names)
         if quant_key is None:
             return f
         key = self._norm_quant(tag, f, quant_key)
-        if type(key) is not tuple:
+        if key < _NODE_LIMIT:
             return key
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._hits += 1
             return cached
+        self._misses += 1
         return self._run(key)
 
     def exists(self, f: int, names: Iterable[str]) -> int:
@@ -960,11 +1449,11 @@ class BddManager:
         once (rather than two cofactor rebuilds per variable), and the memo
         survives across calls with the same variable set.
         """
-        return self._quantify("E", f, names)
+        return self._quantify(_TAG_E, f, names)
 
     def forall(self, f: int, names: Iterable[str]) -> int:
         """Universal quantification over the given variables (one fused pass)."""
-        return self._quantify("A", f, names)
+        return self._quantify(_TAG_A, f, names)
 
     def and_exists(self, f: int, g: int, names: Iterable[str]) -> int:
         """The relational product ``∃ names . f ∧ g`` in one fused sweep.
@@ -973,16 +1462,464 @@ class BddManager:
         the conjunction: quantified levels turn into disjunctions on the
         way back up, and a TRUE low branch short-circuits the high branch.
         """
+        self._maybe_reorder(f, g)
         quant_key = self._quant_key(names)
         if quant_key is None:
-            return self._binary("and", f, g)
+            return self._binary(_TAG_AND, f, g)
         key = self._norm_and_exists(f, g, quant_key)
-        if type(key) is not tuple:
+        if key < _NODE_LIMIT:
             return key
         cached = self._op_cache.get(key)
         if cached is not None:
+            self._hits += 1
             return cached
+        self._misses += 1
+        tag = key & 7
+        if tag == _TAG_AND:
+            # Both operands sit below every quantified level; the product
+            # degenerated to a plain conjunction.
+            body = key >> 3
+            return self._run_binary(tag, body >> _NODE_BITS, body & _NODE_MASK)
         return self._run(key)
+
+    # -- garbage collection ------------------------------------------------------
+
+    def protect(self, node: int) -> int:
+        """Pin a node (and everything reachable from it) across :meth:`gc`.
+
+        Every externally held raw node id must be protected — or held
+        through a ``SymbolicFunction``, which protects automatically — for
+        ``gc``/``reorder`` to be safe.  Returns the node for chaining.
+        """
+        if node > TRUE_NODE:
+            self._ref[node] += 1
+        return node
+
+    def release(self, node: int) -> None:
+        """Undo one :meth:`protect`; unpinned nodes become collectable."""
+        if node > TRUE_NODE and self._ref[node] > 0:
+            self._ref[node] -= 1
+
+    def add_sweep_hook(self, hook: Callable[[Callable[[int], bool]], None]) -> None:
+        """Register a callback invoked after every sweep with an ``alive``
+        predicate, so higher-level caches can drop entries whose node ids
+        were reclaimed (ids are reused — stale entries would alias new
+        functions).
+        """
+        self._sweep_hooks.append(hook)
+
+    def gc(self, extra_roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep collection of dead nodes; returns the count reclaimed.
+
+        Roots are all protected nodes (``_ref > 0``) plus ``extra_roots``.
+        All operation/ISOP memo tables are cleared (their keys embed node
+        ids), the negation cache is filtered down to live pairs, and the
+        per-level unique tables are rebuilt from the survivors.
+        """
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        size = len(var)
+        np = self._numpy
+        if np is not None:
+            refs = np.frombuffer(self._ref, dtype=np.int64, count=size)
+            roots = np.nonzero(refs)[0].tolist()
+        else:
+            ref = self._ref
+            roots = [i for i in range(2, size) if ref[i]]
+        roots.extend(node for node in extra_roots if node > TRUE_NODE)
+        if np is not None:
+            lo_view = np.fromiter(lows, dtype=np.int64, count=size)
+            hi_view = np.fromiter(highs, dtype=np.int64, count=size)
+            marked_np = np.zeros(size, dtype=bool)
+            marked_np[0] = marked_np[1] = True
+            frontier = np.array(roots, dtype=np.int64)
+            while frontier.size:
+                frontier = frontier[~marked_np[frontier]]
+                if not frontier.size:
+                    break
+                marked_np[frontier] = True
+                children = np.concatenate((lo_view[frontier], hi_view[frontier]))
+                frontier = np.unique(children[children > TRUE_NODE])
+            marked = memoryview(marked_np)  # zero-copy bool indexing
+        else:
+            marked = bytearray(size)
+            marked[0] = marked[1] = 1
+            stack = roots[:]
+            while stack:
+                node = stack.pop()
+                if marked[node]:
+                    continue
+                marked[node] = 1
+                child = lows[node]
+                if child > TRUE_NODE and not marked[child]:
+                    stack.append(child)
+                child = highs[node]
+                if child > TRUE_NODE and not marked[child]:
+                    stack.append(child)
+        # Sweep dead nodes onto the free list.
+        free = self._free
+        reclaimed = 0
+        for i in range(2, size):
+            if not marked[i] and var[i] >= 0:
+                var[i] = -1
+                free.append(i)
+                reclaimed += 1
+        # Memo keys embed node ids; drop everything that may be stale.
+        self._op_cache.clear()
+        self._isop_cache.clear()
+        self._not_cache = {
+            a: b for a, b in self._not_cache.items() if marked[a] and marked[b]
+        }
+        self._rebuild_tables()
+        alive = lambda node: 0 <= node < size and bool(marked[node])  # noqa: E731
+        for hook in self._sweep_hooks:
+            hook(alive)
+        self._gc_runs += 1
+        self._gc_reclaimed += reclaimed
+        return reclaimed
+
+    def _rebuild_tables(self) -> None:
+        """Rebuild every per-level unique table from the live nodes."""
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        size = len(var)
+        tables: List[dict] = [{} for _ in self._level_vars]
+        total = 0
+        for i in range(2, size):
+            level = var[i]
+            if level >= 0:
+                tables[level][(lows[i] << _NODE_BITS) | highs[i]] = i
+                total += 1
+        self._utables = tables
+        self._entries = total
+
+    # -- dynamic variable reordering ---------------------------------------------
+
+    def _maybe_reorder(self, *roots: int) -> None:
+        threshold = self._auto_reorder_threshold
+        if (
+            threshold is None
+            or self._entries < threshold
+            or self._reorder_inhibit
+        ):
+            return
+        # Double the threshold so a workload that genuinely needs the
+        # nodes does not thrash in back-to-back reorders.
+        self._auto_reorder_threshold = max(threshold * 2, self._entries + 1)
+        for node in roots:
+            self.protect(node)
+        try:
+            self.reorder()
+        finally:
+            for node in roots:
+                self.release(node)
+
+    @contextmanager
+    def postpone_reorder(self):
+        """Inhibit automatic reordering for the duration of the block.
+
+        Used by code that holds raw node ids in local caches across many
+        public operations (e.g. expression compilation): a reorder in the
+        middle could reclaim nodes only those locals reference.
+        """
+        self._reorder_inhibit += 1
+        try:
+            yield
+        finally:
+            self._reorder_inhibit -= 1
+
+    def reorder(
+        self,
+        max_vars: int = 32,
+        max_growth: float = 1.2,
+        max_swap_size: Optional[int] = None,
+    ) -> int:
+        """Sifting-based dynamic variable reordering; returns the swap count.
+
+        Sifts the ``max_vars`` largest levels one at a time: each variable
+        is moved through the order by adjacent-level swaps, the total node
+        count is tracked at every position, and the variable settles at
+        its best position (aborting a direction when the table grows past
+        ``max_growth`` times the best size seen).  Swaps rewrite nodes in
+        place, so ids keep denoting the same functions and all caller
+        handles stay valid; nodes orphaned by a swap are reclaimed
+        immediately, which is what gives sifting its size signal.
+
+        Contract (same as :meth:`gc`): every externally held raw node id
+        must be protected or held via a ``SymbolicFunction``; unprotected
+        ids may be reclaimed.  Function-shaped memo entries (and/or/ite,
+        negation, quantification) stay valid — ids are stable — but the
+        ISOP cache embeds levels and is cleared.
+        """
+        if self._reorder_inhibit or len(self._level_vars) < 2:
+            return 0
+        self._reorder_inhibit += 1
+        try:
+            # Sifting deletes orphans, so memo entries could go stale; the
+            # level-keyed ISOP cache additionally encodes the order itself.
+            self._op_cache.clear()
+            self._isop_cache.clear()
+            indeg = self._in_degrees()
+            deleted: set = set()
+            candidates = sorted(
+                range(len(self._level_vars)),
+                key=lambda level: len(self._utables[level]),
+                reverse=True,
+            )[:max_vars]
+            names = [self._level_vars[level] for level in candidates]
+            swaps = 0
+            for name in names:
+                swaps += self._sift_one(name, max_growth, indeg, deleted, max_swap_size)
+            self._not_cache = {
+                a: b
+                for a, b in self._not_cache.items()
+                if a not in deleted and b not in deleted
+            }
+            if deleted:
+                alive = lambda node: node not in deleted  # noqa: E731
+                for hook in self._sweep_hooks:
+                    hook(alive)
+            # Quantification sets are interned by level; remap them onto the
+            # new positions of their variables.
+            self._quant_sets = {}
+            for key, name_set in enumerate(self._quant_names):
+                levels = frozenset(self._var_levels[n] for n in name_set)
+                self._quant_levels[key] = (levels, max(levels))
+                self._quant_sets.setdefault(levels, key)
+            self._reorder_runs += 1
+            self._reorder_swaps += swaps
+            return swaps
+        finally:
+            self._reorder_inhibit -= 1
+
+    def _in_degrees(self) -> array:
+        """Parent counts for every node (DAG edges only, not external refs)."""
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        size = len(var)
+        indeg = array("q", bytes(8 * size))
+        for i in range(2, size):
+            if var[i] >= 0:
+                indeg[lows[i]] += 1
+                indeg[highs[i]] += 1
+        return indeg
+
+    def _sift_one(
+        self,
+        name: str,
+        max_growth: float,
+        indeg: array,
+        deleted: set,
+        max_swap_size: Optional[int],
+    ) -> int:
+        last = len(self._level_vars) - 1
+        start = self._var_levels[name]
+        best_pos = start
+        best_size = self._entries
+        limit = int(best_size * max_growth) + 2
+        swaps = 0
+        pos = start
+        # Walk to the nearer end first, then across to the other end,
+        # recording the best position seen; abort a direction on blow-up.
+        if start * 2 >= last:
+            targets = (last, 0)
+        else:
+            targets = (0, last)
+        for target in targets:
+            step = 1 if target > pos else -1
+            while pos != target:
+                if max_swap_size is not None:
+                    x = pos if step > 0 else pos - 1
+                    if (
+                        len(self._utables[x]) + len(self._utables[x + 1])
+                        > max_swap_size
+                    ):
+                        break
+                if step > 0:
+                    self._swap_levels(pos, indeg, deleted)
+                    pos += 1
+                else:
+                    self._swap_levels(pos - 1, indeg, deleted)
+                    pos -= 1
+                swaps += 1
+                size = self._entries
+                if size < best_size:
+                    best_size = size
+                    best_pos = pos
+                    limit = int(best_size * max_growth) + 2
+                elif size > limit:
+                    break
+        while pos < best_pos:
+            self._swap_levels(pos, indeg, deleted)
+            pos += 1
+            swaps += 1
+        while pos > best_pos:
+            self._swap_levels(pos - 1, indeg, deleted)
+            pos -= 1
+            swaps += 1
+        return swaps
+
+    def _swap_levels(self, x: int, indeg: array, deleted: set) -> None:
+        """Swap the variables at adjacent positions ``x`` and ``x + 1`` in place.
+
+        Let u be the variable at x and v at x + 1.  Nodes labelled v only
+        move up (relabel).  A u-node whose children do not test v keeps
+        its structure and moves down.  A u-node with a v-child is rewritten
+        in place to test v first: its id continues to denote the same
+        function, so no external handle or function-shaped memo entry is
+        invalidated.  Children orphaned by the rewrite are reclaimed via
+        the in-degree cascade.
+        """
+        y = x + 1
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        u_nodes = self._table_nodes(x)
+        v_nodes = self._table_nodes(y)
+        u_name = self._level_vars[x]
+        v_name = self._level_vars[y]
+        self._level_vars[x] = v_name
+        self._level_vars[y] = u_name
+        self._var_levels[v_name] = x
+        self._var_levels[u_name] = y
+        self._utables[x] = {}
+        self._utables[y] = {}
+        # v-nodes move up to position x unchanged.
+        for m in v_nodes:
+            var[m] = x
+            self._table_insert(x, m)
+        # u-nodes without a v-child move down to y unchanged; the rest are
+        # rewritten after all solid nodes are in place so probe lookups
+        # during the rewrite can reuse them.
+        interacting = []
+        for n in u_nodes:
+            if var[lows[n]] == x or var[highs[n]] == x:
+                interacting.append(n)
+            else:
+                var[n] = y
+                self._table_insert(y, n)
+        orphan_candidates = []
+        for n in interacting:
+            f0 = lows[n]
+            f1 = highs[n]
+            if var[f0] == x:
+                f00, f01 = lows[f0], highs[f0]
+            else:
+                f00 = f01 = f0
+            if var[f1] == x:
+                f10, f11 = lows[f1], highs[f1]
+            else:
+                f10 = f11 = f1
+            if f00 == f10:
+                a = f00
+            else:
+                a = self._make_at(y, f00, f10, indeg)
+            if f01 == f11:
+                b = f01
+            else:
+                b = self._make_at(y, f01, f11, indeg)
+            lows[n] = a
+            highs[n] = b
+            self._table_insert(x, n)
+            if a > TRUE_NODE:
+                indeg[a] += 1
+            if b > TRUE_NODE:
+                indeg[b] += 1
+            if f0 > TRUE_NODE:
+                indeg[f0] -= 1
+                orphan_candidates.append(f0)
+            if f1 > TRUE_NODE:
+                indeg[f1] -= 1
+                orphan_candidates.append(f1)
+        if orphan_candidates:
+            self._cascade_delete(orphan_candidates, indeg, deleted)
+
+    def _make_at(self, level: int, low: int, high: int, indeg: array) -> int:
+        """Find-or-create a node at ``level`` during a swap, tracking degrees."""
+        table = self._utables[level]
+        k = (low << _NODE_BITS) | high
+        node = table.get(k)
+        if node is not None:
+            return node
+        node = self._alloc(level, low, high)
+        table[k] = node
+        self._entries += 1
+        while len(indeg) <= node:
+            indeg.append(0)
+        indeg[node] = 0
+        if low > TRUE_NODE:
+            indeg[low] += 1
+        if high > TRUE_NODE:
+            indeg[high] += 1
+        return node
+
+    def _cascade_delete(self, candidates: List[int], indeg: array, deleted: set) -> None:
+        """Reclaim nodes whose last DAG parent disappeared (unless protected)."""
+        var = self._var
+        lows = self._lo
+        highs = self._hi
+        ref = self._ref
+        free = self._free
+        stack = candidates
+        while stack:
+            node = stack.pop()
+            if node <= TRUE_NODE or indeg[node] != 0 or ref[node] != 0:
+                continue
+            if var[node] < 0:
+                continue
+            self._table_remove(var[node], node)
+            child = lows[node]
+            if child > TRUE_NODE:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    stack.append(child)
+            child = highs[node]
+            if child > TRUE_NODE:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    stack.append(child)
+            var[node] = -1
+            free.append(node)
+            self._entries -= 1
+            deleted.add(node)
+
+    # -- health counters -----------------------------------------------------------
+
+    def stats(self) -> BddStats:
+        """A snapshot of node-store, cache and GC/reorder health counters."""
+        # Slot-count estimate of the interpreter's open-addressed tables:
+        # a CPython dict resizes at 2/3 load to the next power of two.
+        capacity = 0
+        for table in self._utables:
+            slots = 8
+            while 3 * len(table) >= 2 * slots:
+                slots <<= 1
+            capacity += slots
+        hits = self._hits
+        misses = self._misses
+        total = hits + misses
+        return BddStats(
+            live_nodes=self.num_nodes(),
+            allocated_slots=len(self._var),
+            free_slots=len(self._free),
+            num_vars=len(self._level_vars),
+            unique_entries=self._entries,
+            unique_capacity=capacity,
+            load_factor=(self._entries / capacity) if capacity else 0.0,
+            op_cache_entries=len(self._op_cache),
+            not_cache_entries=len(self._not_cache),
+            isop_cache_entries=len(self._isop_cache),
+            cache_hits=hits,
+            cache_misses=misses,
+            hit_rate=(hits / total) if total else 0.0,
+            gc_runs=self._gc_runs,
+            gc_reclaimed=self._gc_reclaimed,
+            reorder_runs=self._reorder_runs,
+            reorder_swaps=self._reorder_swaps,
+        )
 
     # -- queries -----------------------------------------------------------------
 
@@ -1001,29 +1938,70 @@ class BddManager:
     def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
         """Evaluate ``f`` under a total assignment of its support variables."""
         node = f
-        while node not in (FALSE_NODE, TRUE_NODE):
-            name = self._level_vars[self._level[node]]
+        while node > TRUE_NODE:
+            name = self._level_vars[self._var[node]]
             try:
                 value = assignment[name]
             except KeyError as exc:
                 raise KeyError(f"assignment is missing variable {name!r}") from exc
-            node = self._high[node] if value else self._low[node]
+            node = self._hi[node] if value else self._lo[node]
         return node == TRUE_NODE
 
     def support(self, f: int) -> frozenset:
         """The set of variables the function actually depends on."""
+        var = self._var
+        lows = self._lo
+        highs = self._hi
         seen = set()
-        names = set()
+        seen_add = seen.add
+        levels = set()
+        levels_add = levels.add
         stack = [f]
+        push = stack.append
+        pop = stack.pop
         while stack:
-            node = stack.pop()
-            if node in (FALSE_NODE, TRUE_NODE) or node in seen:
+            node = pop()
+            if node <= TRUE_NODE or node in seen:
                 continue
-            seen.add(node)
-            names.add(self._level_vars[self._level[node]])
-            stack.append(self._low[node])
-            stack.append(self._high[node])
-        return frozenset(names)
+            seen_add(node)
+            levels_add(var[node])
+            push(lows[node])
+            push(highs[node])
+        names = self._level_vars
+        return frozenset(names[level] for level in levels)
+
+    def density(self, f: int) -> float:
+        """Fraction of assignments satisfying ``f`` (each variable p=1/2).
+
+        A cheap O(dag) float walk — no big-integer arithmetic, no need to
+        name the counting universe (the fraction is the same over any
+        superset of the support).  Used as a polarity heuristic: a density
+        above one half means the direct SOP cover is likely the exponential
+        side and the complement cover the compact one.
+        """
+        memo: Dict[int, float] = {FALSE_NODE: 0.0, TRUE_NODE: 1.0}
+        lows = self._lo
+        highs = self._hi
+        stack = [f]
+        push = stack.append
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            lo = lows[node]
+            hi = highs[node]
+            p_lo = memo.get(lo)
+            p_hi = memo.get(hi)
+            if p_lo is None or p_hi is None:
+                if p_lo is None:
+                    push(lo)
+                if p_hi is None:
+                    push(hi)
+                continue
+            memo[node] = 0.5 * (p_lo + p_hi)
+            stack.pop()
+        return memo[f]
 
     def sat_count(self, f: int, over: Optional[Sequence[str]] = None) -> int:
         """Number of satisfying assignments over ``over`` (default: support)."""
@@ -1046,16 +2024,17 @@ class BddManager:
             if node == TRUE_NODE:
                 return 1 << (total_levels - from_index)
             key = node
-            node_index = index_of_level[self._level[node]]
+            node_index = index_of_level[self._var[node]]
             gap = node_index - from_index
             if key in cache:
                 return cache[key] << gap
-            low = count_below(self._low[node], node_index + 1)
-            high = count_below(self._high[node], node_index + 1)
+            low = count_below(self._lo[node], node_index + 1)
+            high = count_below(self._hi[node], node_index + 1)
             cache[key] = low + high
             return (low + high) << gap
 
-        return count_below(f, 0)
+        with self._level_bounded_recursion():
+            return count_below(f, 0)
 
     def find_difference(self, f: int, g: int) -> Optional[Dict[str, bool]]:
         """One assignment on which ``f`` and ``g`` disagree, or None.
@@ -1072,15 +2051,15 @@ class BddManager:
         def rec(a: int, b: int) -> bool:
             if a == b:
                 return False
-            la, lb = self._level[a], self._level[b]
+            la, lb = self._var[a], self._var[b]
             level = la if la < lb else lb
             if level == _TERMINAL_LEVEL:
                 return True  # two distinct terminals
             pair = (a, b)
             if pair in no_difference:
                 return False
-            a0, a1 = (self._low[a], self._high[a]) if la == level else (a, a)
-            b0, b1 = (self._low[b], self._high[b]) if lb == level else (b, b)
+            a0, a1 = (self._lo[a], self._hi[a]) if la == level else (a, a)
+            b0, b1 = (self._lo[b], self._hi[b]) if lb == level else (b, b)
             name = self._level_vars[level]
             assignment[name] = False
             if rec(a0, b0):
@@ -1092,7 +2071,9 @@ class BddManager:
             no_difference.add(pair)
             return False
 
-        if not rec(f, g):  # pragma: no cover - f != g guarantees a witness
+        with self._level_bounded_recursion():
+            found = rec(f, g)
+        if not found:  # pragma: no cover - f != g guarantees a witness
             return None
         for name in self.support(f) | self.support(g):
             assignment.setdefault(name, False)
@@ -1104,14 +2085,14 @@ class BddManager:
             return None
         assignment: Dict[str, bool] = {}
         node = f
-        while node not in (FALSE_NODE, TRUE_NODE):
-            name = self._level_vars[self._level[node]]
-            if self._high[node] != FALSE_NODE:
+        while node > TRUE_NODE:
+            name = self._level_vars[self._var[node]]
+            if self._hi[node] != FALSE_NODE:
                 assignment[name] = True
-                node = self._high[node]
+                node = self._hi[node]
             else:
                 assignment[name] = False
-                node = self._low[node]
+                node = self._lo[node]
         for name in self.support(f):
             assignment.setdefault(name, False)
         return assignment
@@ -1142,10 +2123,10 @@ class BddManager:
             name = names[index]
             level = name_levels[index]
             for value in (False, True):
-                if node in (FALSE_NODE, TRUE_NODE):
+                if node <= TRUE_NODE:
                     child = node
-                elif self._level[node] == level:
-                    child = self._high[node] if value else self._low[node]
+                elif self._var[node] == level:
+                    child = self._hi[node] if value else self._lo[node]
                 else:
                     child = node
                 partial[name] = value
@@ -1160,9 +2141,9 @@ class BddManager:
         stack = [f]
         while stack:
             node = stack.pop()
-            if node in (FALSE_NODE, TRUE_NODE) or node in seen:
+            if node <= TRUE_NODE or node in seen:
                 continue
             seen.add(node)
-            stack.append(self._low[node])
-            stack.append(self._high[node])
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
         return len(seen)

@@ -151,6 +151,11 @@ def _stage_derive(state: Dict[str, Any], job: JobSpec) -> StageResult:
         "inputs": len(state["spec"].input_signals()),
         "bdd_nodes": sum(derivation.bdd_sizes.values()),
     }
+    context = getattr(derivation, "context", None)
+    if context is not None:
+        # Kernel health of the derivation's manager (JSON-ready), so scale
+        # problems show up in campaign reports instead of only in profiles.
+        details["kernel"] = context.manager.stats().as_dict()
     return StageResult(name="derive", ok=True, seconds=0.0, details=details)
 
 

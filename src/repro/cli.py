@@ -161,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
              "re-flattens substitution residue each step and cannot complete "
              "the largest architectures",
     )
+    derive.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print BDD kernel statistics (node counts, cache hit rates, "
+             "GC and reorder activity) after the closed forms",
+    )
 
     props = subparsers.add_parser(
         "check-properties", help="verify the Section 3.1 preconditions of the method"
@@ -245,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.5,
         help="allowed slow-down factor before --check fails (default: 1.5)",
+    )
+    bench.add_argument(
+        "--slack",
+        type=float,
+        default=0.05,
+        help="absolute seconds of excess forgiven before --check fails, so "
+        "millisecond-scale scenarios do not gate on timer noise (default: 0.05)",
     )
 
     campaign = subparsers.add_parser(
@@ -383,7 +396,15 @@ def _cmd_derive(args: argparse.Namespace, out: TextIO) -> int:
             "note: the 'expr' backend is deprecated and kept for A/B debugging; "
             "the default 'bdd' backend is exact, faster and scales further\n"
         )
-    out.write(symbolic_most_liberal(functional, backend=backend).describe() + "\n")
+    derivation = symbolic_most_liberal(functional, backend=backend)
+    out.write(derivation.describe() + "\n")
+    if getattr(args, "verbose", False):
+        context = getattr(derivation, "context", None)
+        if context is not None:
+            out.write("kernel statistics:\n")
+            out.write(context.manager.stats().describe() + "\n")
+        else:
+            out.write("kernel statistics: not available for the expr backend\n")
     return 0
 
 
@@ -504,7 +525,11 @@ def _cmd_bench(args: argparse.Namespace, out: TextIO) -> int:
     if args.check:
         try:
             failures = check_against_baseline(
-                results, args.baseline, tolerance=args.tolerance
+                results,
+                args.baseline,
+                tolerance=args.tolerance,
+                warn=lambda line: out.write(f"WARNING {line}\n"),
+                slack=args.slack,
             )
         except ValueError as exc:
             raise CliError(f"bad baseline {args.baseline}: {exc}") from exc

@@ -248,6 +248,38 @@ def concrete_most_liberal(
     )
 
 
+def _dependency_order(flags: List[str], deps: Dict[str, List[str]]) -> List[str]:
+    """Topological order of the moe flags by stall-condition dependencies.
+
+    A flag whose stall condition reads other flags is scheduled after them
+    (Kahn's algorithm); members of dependency cycles are appended in the
+    original specification order, which the chaotic iteration then settles
+    by re-enqueueing.
+    """
+    flag_set = set(flags)
+    pending: Dict[str, set] = {
+        moe: {read for read in deps.get(moe, ()) if read in flag_set} for moe in flags
+    }
+    dependents: Dict[str, List[str]] = {moe: [] for moe in flags}
+    for moe in flags:
+        for read in deps.get(moe, ()):
+            if read in flag_set:
+                dependents[read].append(moe)
+    ordered = [moe for moe in flags if not pending[moe]]
+    placed = set(ordered)
+    head = 0
+    while head < len(ordered):
+        for dependent in dependents[ordered[head]]:
+            waiting = pending[dependent]
+            waiting.discard(ordered[head])
+            if not waiting and dependent not in placed:
+                ordered.append(dependent)
+                placed.add(dependent)
+        head += 1
+    ordered.extend(moe for moe in flags if moe not in placed)
+    return ordered
+
+
 def derivation_order(spec: FunctionalSpec) -> List[str]:
     """The BDD variable order the symbolic derivation compiles against.
 
@@ -302,32 +334,80 @@ def symbolic_most_liberal(
     moe_flags = spec.moe_flags()
     limit = max_iterations if max_iterations is not None else len(moe_flags) + 2
     if context is None:
-        context = SymbolicContext(derivation_order(spec))
+        context = SymbolicContext(derivation_order(spec), balanced_reduce=True)
     manager = context.manager
-    condition_nodes: Dict[str, int] = {
-        clause.moe: context.lift(clause.condition).node for clause in spec.clauses
-    }
-    current: Dict[str, int] = {moe: manager.true() for moe in moe_flags}
+    # The loop state below is raw node ids (not SymbolicFunction handles),
+    # so an automatic reorder mid-iteration could reclaim nodes only this
+    # frame references; postpone it until the fixed point converges.
+    with manager.postpone_reorder():
+        condition_nodes: Dict[str, int] = {
+            clause.moe: context.lift(clause.condition).node for clause in spec.clauses
+        }
+        current: Dict[str, int] = {moe: manager.true() for moe in moe_flags}
 
-    iterations = 0
-    for _ in range(limit):
-        iterations += 1
-        changed = False
-        next_nodes: Dict[str, int] = {}
+        # The descending Kleene iteration from all-true reaches the greatest
+        # fixed point in any fair update order (chaotic iteration), so the
+        # flags are processed as a worklist in dependency order: a flag is
+        # only re-evaluated after the flags its stall condition reads have
+        # settled, which for a feed-forward pipeline means exactly one
+        # evaluation per flag instead of a full Jacobi sweep per pipeline
+        # depth.  Cyclic dependencies simply re-enqueue until stable.
+        # Dependencies are kept in clause order, not set order: the kernel
+        # assigns node ids in creation order, so hash-randomised iteration
+        # over support sets would permute the composition schedule (and the
+        # resulting node layout) from process to process.  The fixed point
+        # is the same either way, but the run would not be reproducible.
+        moe_set = set(moe_flags)
+        deps: Dict[str, List[str]] = {}
         for clause in spec.clauses:
+            read_set = manager.support(condition_nodes[clause.moe]) & moe_set
+            deps[clause.moe] = [moe for moe in moe_flags if moe in read_set]
+        # Chaotic iteration reaches the greatest fixed point only for a
+        # monotone map, and unlike the Jacobi sweep it can settle on a
+        # spurious fixed point of a non-monotone one instead of visibly
+        # oscillating — so monotonicity (F_i[v:=1] → F_i[v:=0] for every
+        # flag v the condition reads) is checked explicitly up front.
+        for moe, reads in deps.items():
+            condition = condition_nodes[moe]
+            for name in reads:
+                with_move = manager.restrict(condition, name, True)
+                with_stall = manager.restrict(condition, name, False)
+                if manager.or_(with_stall, manager.not_(with_move)) != manager.true():
+                    raise DerivationError(
+                        f"stall condition for {moe} is not monotone in the negated "
+                        f"moe flag {name}; the Section 3.1 preconditions are violated"
+                    )
+        dependents: Dict[str, List[str]] = {moe: [] for moe in moe_flags}
+        for moe, reads in deps.items():
+            for read in reads:
+                dependents[read].append(moe)
+        clause_of = {clause.moe: clause for clause in spec.clauses}
+        order = _dependency_order(list(clause_of), deps)
+
+        evaluations: Dict[str, int] = {moe: 0 for moe in moe_flags}
+        queue = list(order)
+        queued = set(queue)
+        head = 0
+        while head < len(queue):
+            moe = queue[head]
+            head += 1
+            queued.discard(moe)
+            evaluations[moe] += 1
+            if evaluations[moe] > limit:
+                raise DerivationError(
+                    f"symbolic fixed-point iteration did not converge within "
+                    f"{limit} iterations"
+                )
             node = manager.not_(
-                manager.compose_many(condition_nodes[clause.moe], current)
+                manager.compose_many(condition_nodes[moe], current)
             )
-            next_nodes[clause.moe] = node
-            if node != current[clause.moe]:
-                changed = True
-        current = next_nodes
-        if not changed:
-            break
-    else:
-        raise DerivationError(
-            f"symbolic fixed-point iteration did not converge within {limit} iterations"
-        )
+            if node != current[moe]:
+                current[moe] = node
+                for dependent in dependents[moe]:
+                    if dependent not in queued:
+                        queue.append(dependent)
+                        queued.add(dependent)
+        iterations = max(evaluations.values(), default=1)
 
     # Confirm the fixed point really only mentions primary inputs.
     input_scope = tuple(spec.input_signals())

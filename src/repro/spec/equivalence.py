@@ -233,7 +233,9 @@ def check_derived_equivalence(
         if name not in seen:
             seen.add(name)
             inputs.append(name)
-    context = SymbolicContext(moes + register_interleaved_order(inputs))
+    context = SymbolicContext(
+        moes + register_interleaved_order(inputs), balanced_reduce=True
+    )
     manager = context.manager
     derived_a = symbolic_most_liberal(spec_a, context=context).moe_functions
     derived_b = symbolic_most_liberal(spec_b, context=context).moe_functions

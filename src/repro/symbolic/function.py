@@ -25,6 +25,7 @@ context, so repeated printing is free.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..expr.ast import Expr, FALSE, Not, TRUE, Var
@@ -50,10 +51,36 @@ class SymbolicContext:
     silently compare nodes from unrelated unique tables.
     """
 
-    def __init__(self, variable_order: Optional[Sequence[str]] = None):
-        self.manager = BddManager(variable_order)
+    def __init__(
+        self,
+        variable_order: Optional[Sequence[str]] = None,
+        *,
+        balanced_reduce: bool = False,
+    ):
+        self.manager = BddManager(variable_order, balanced_reduce=balanced_reduce)
         self._compile_cache: Dict[Expr, int] = {}
         self._expr_cache: Dict[int, Expr] = {}
+        # Node ids are reused after a sweep, so entries pointing at
+        # reclaimed ids must be dropped or they would alias new functions.
+        self.manager.add_sweep_hook(self._on_sweep)
+
+    def _on_sweep(self, alive) -> None:
+        self._compile_cache = {
+            expr: node for expr, node in self._compile_cache.items() if alive(node)
+        }
+        self._expr_cache = {
+            node: expr for node, expr in self._expr_cache.items() if alive(node)
+        }
+
+    def collect(self) -> int:
+        """Reclaim nodes no live :class:`SymbolicFunction` can reach.
+
+        Every function handle protects its node, so a plain
+        ``context.collect()`` after dropping intermediate handles shrinks
+        the store back to what is still referenced.  Returns the number of
+        nodes reclaimed.
+        """
+        return self.manager.gc()
 
     # -- constructors ----------------------------------------------------------
 
@@ -145,17 +172,35 @@ class SymbolicContext:
             return False, ((),)
         manager = self.manager
         negated = manager.not_(node)
+        # Run the likely-compact side first (density > 1/2 means mostly
+        # true, i.e. an exponential direct cover but a compact complement),
+        # then cap the other side by the first result: it only matters if
+        # it can still win, so the losing side aborts almost immediately
+        # instead of spending its whole cube budget.  Direct wins ties.
+        comp_first = manager.density(node) > 0.5
         budget = 64
         while True:
             direct = complemented = None
-            try:
-                direct = manager.isop(node, node, max_cubes=budget)[1]
-            except CoverBudgetExceeded:
-                pass
-            try:
-                complemented = manager.isop(negated, negated, max_cubes=budget)[1]
-            except CoverBudgetExceeded:
-                pass
+            if comp_first:
+                try:
+                    complemented = manager.isop(negated, negated, max_cubes=budget)[1]
+                except CoverBudgetExceeded:
+                    pass
+                cap = budget if complemented is None else min(budget, len(complemented))
+                try:
+                    direct = manager.isop(node, node, max_cubes=cap)[1]
+                except CoverBudgetExceeded:
+                    pass
+            else:
+                try:
+                    direct = manager.isop(node, node, max_cubes=budget)[1]
+                except CoverBudgetExceeded:
+                    pass
+                cap = budget if direct is None else min(budget, len(direct) - 1)
+                try:
+                    complemented = manager.isop(negated, negated, max_cubes=cap)[1]
+                except CoverBudgetExceeded:
+                    pass
             if direct is not None and (
                 complemented is None or len(direct) <= len(complemented)
             ):
@@ -165,14 +210,21 @@ class SymbolicContext:
             budget *= 8
 
     def _cubes_to_expr(self, cubes: tuple) -> Expr:
+        # Covers repeat the same few literals across many cubes; building
+        # (and hashing) a fresh Var/Not per occurrence dominated extraction.
         var_at = self.manager.var_at_level
+        literal_at: Dict[Tuple[int, bool], Expr] = {}
         products: List[Expr] = []
         for cube in cubes:
             literals: List[Expr] = []
             for level, polarity in cube:
-                literal: Expr = Var(var_at(level))
-                if not polarity:
-                    literal = Not(literal)
+                key = (level, polarity)
+                literal = literal_at.get(key)
+                if literal is None:
+                    literal = Var(var_at(level))
+                    if not polarity:
+                        literal = Not(literal)
+                    literal_at[key] = literal
                 literals.append(literal)
             products.append(big_and(literals) if literals else TRUE)
         return big_or(products) if products else FALSE
@@ -197,7 +249,7 @@ class SymbolicFunction:
             inputs; enumeration-style queries default to it.
     """
 
-    __slots__ = ("context", "node", "scope")
+    __slots__ = ("context", "node", "scope", "_finalizer", "__weakref__")
 
     def __init__(
         self,
@@ -208,6 +260,12 @@ class SymbolicFunction:
         self.context = context
         self.node = node
         self.scope = tuple(scope) if scope is not None else None
+        # Pin the node for the lifetime of this handle: the manager's GC
+        # and reorder passes treat protected nodes as roots, so holding a
+        # SymbolicFunction is all a caller needs to do to stay safe.
+        manager = context.manager
+        manager.protect(node)
+        self._finalizer = weakref.finalize(self, manager.release, node)
 
     # -- plumbing --------------------------------------------------------------
 

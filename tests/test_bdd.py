@@ -127,6 +127,17 @@ class TestManagerOperations:
         assert fused == unfused
         assert manager.and_exists(x, manager.not_(x), ["x"]) == manager.false()
 
+    def test_and_exists_degenerates_to_conjunction(self):
+        # Regression: when every quantified level sits above both operand
+        # cones, the fused product normalises to a plain AND task; that
+        # packed key must be dispatched to the binary apply loop, not the
+        # quantification expander.
+        manager = BddManager(["q", "x", "y"])
+        x, y = manager.var("x"), manager.var("y")
+        f = manager.or_(x, y)
+        g = manager.implies(x, y)
+        assert manager.and_exists(f, g, ["q"]) == manager.and_(f, g)
+
     def test_exists_forall(self):
         manager = BddManager()
         x, y = manager.var("x"), manager.var("y")
@@ -188,6 +199,50 @@ class TestManagerOperations:
         assert manager.dag_size(manager.true()) == 0
         assert manager.dag_size(x) == 1
         assert manager.dag_size(manager.and_(x, y)) == 2
+
+
+class TestKernelLifecycle:
+    """Public-API smoke tests for GC, reordering and the health counters.
+
+    The heavier invariants (sweep hooks, sifting quality, the reference
+    cross-check) live in ``test_bdd_array_kernel.py``.
+    """
+
+    def test_gc_keeps_protected_functions(self):
+        manager = BddManager()
+        x, y = manager.var("x"), manager.var("y")
+        kept = manager.protect(manager.xor(x, y))
+        manager.iff(x, y)  # garbage
+        reclaimed = manager.gc()
+        assert reclaimed > 0
+        assert manager.evaluate(kept, {"x": True, "y": False})
+        assert not manager.evaluate(kept, {"x": True, "y": True})
+
+    def test_reorder_preserves_semantics(self):
+        manager = BddManager(["a", "b", "c", "d"])
+        f = manager.protect(
+            manager.or_(
+                manager.and_(manager.var("a"), manager.var("c")),
+                manager.and_(manager.var("b"), manager.var("d")),
+            )
+        )
+        before = manager.num_nodes()
+        manager.reorder()
+        assert manager.num_nodes() <= before
+        for assignment in all_assignments(["a", "b", "c", "d"]):
+            expected = (assignment["a"] and assignment["c"]) or (
+                assignment["b"] and assignment["d"]
+            )
+            assert manager.evaluate(f, assignment) == expected
+
+    def test_stats_snapshot(self):
+        manager = BddManager()
+        manager.and_(manager.var("a"), manager.var("b"))
+        stats = manager.stats()
+        assert stats.live_nodes == manager.num_nodes()
+        assert stats.num_vars == 2
+        assert stats.gc_runs == 0 and stats.reorder_runs == 0
+        assert "unique table:" in stats.describe()
 
 
 class TestExprCompiler:
