@@ -10,13 +10,23 @@ from .ordering import (
     register_interleaved_order,
     stage_major_order,
 )
+from .serialize import (
+    ArtifactError,
+    dump_nodes,
+    inspect_artifact,
+    load_nodes,
+)
 
 __all__ = [
+    "ArtifactError",
     "BddManager",
     "BddStats",
     "CoverBudgetExceeded",
     "FALSE_NODE",
     "TRUE_NODE",
+    "dump_nodes",
+    "inspect_artifact",
+    "load_nodes",
     "ExprBddContext",
     "compile_expr",
     "interleaved_order",

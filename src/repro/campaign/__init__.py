@@ -9,26 +9,36 @@ campaigns and stall/coverage analysis — into a batch engine:
   (dataclasses with a JSON round trip), including one-line family sweeps;
 * :mod:`repro.campaign.runner` — the end-to-end verification job a single
   worker executes for one architecture;
-* :mod:`repro.campaign.store` — a content-hashed per-job JSON result
-  store, so re-running a campaign skips already-verified configurations;
+* :mod:`repro.campaign.store` — a content-hashed store of per-job JSON
+  results, binary BDD derivation artifacts and per-stage results keyed
+  by dependency hashes, so re-running a campaign skips already-verified
+  configurations and incremental runs skip unchanged *stages*;
 * :mod:`repro.campaign.orchestrator` — shards pending jobs across a
-  process pool and folds the results into an aggregate report;
+  persistent warm process pool (live symbolic state per worker) and
+  streams the results into an aggregate report;
 * :mod:`repro.campaign.report` — pass/fail/timing aggregation rendered
   through :mod:`repro.analysis`.
 
 Exposed on the command line as ``python -m repro campaign``.
 """
 
-from .orchestrator import run_campaign
+from .orchestrator import run_campaign, shutdown_warm_pool
 from .report import CampaignReport
 from .runner import (
     CANONICAL_STAGES,
     JobResult,
     StageResult,
+    clear_warm_state,
     run_verification_job,
 )
-from .spec import CampaignSpec, CampaignSpecError, JobSpec, family_sweep
-from .store import ResultStore
+from .spec import (
+    STAGE_DEPENDENCIES,
+    CampaignSpec,
+    CampaignSpecError,
+    JobSpec,
+    family_sweep,
+)
+from .store import ResultStore, StoreStats
 
 __all__ = [
     "CampaignReport",
@@ -38,7 +48,12 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "ResultStore",
+    "STAGE_DEPENDENCIES",
+    "StageResult",
+    "StoreStats",
+    "clear_warm_state",
     "family_sweep",
     "run_campaign",
     "run_verification_job",
+    "shutdown_warm_pool",
 ]

@@ -1,11 +1,21 @@
-"""Process-pool campaign orchestrator.
+"""Warm process-pool campaign orchestrator.
 
 Shards the pending (non-cached) jobs of a campaign across worker
 processes.  Jobs cross the process boundary as plain dictionaries — the
 declarative :class:`~repro.campaign.spec.JobSpec` round trip — so no
-symbolic state (BDD managers, compiled evaluators) is ever pickled; each
-worker rebuilds everything from the architecture name, which is exactly
-what makes the shards independent.
+symbolic state (BDD managers, compiled evaluators) is ever pickled.
+
+Workers are *persistent*: the pool is a module-level singleton that
+survives across campaigns, and inside each worker
+:func:`~repro.campaign.runner._arch_state` keeps live
+``BddManager``/``SymbolicContext`` state per architecture.  A second
+campaign over the same family therefore skips process startup, module
+imports, architecture loading and the symbolic derivation — the warm-path
+speedup the ``campaign_sweep_warm`` benchmark and the nightly CI gate
+measure.  Workers also read/write the shared result store directly
+(binary derivation artifacts and per-stage results, both content-hashed
+and written atomically), reporting their store-traffic deltas back with
+each result so the campaign report can tally cache effectiveness.
 
 With ``workers=1`` (or a single pending job) everything runs in-process,
 which is also the fallback when the platform cannot fork; the result is
@@ -14,24 +24,51 @@ identical either way, only the wall clock differs.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import sys
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional
 
 from .report import CampaignReport
 from .runner import JobResult, run_verification_job
 from .spec import CampaignSpec, JobSpec
-from .store import ResultStore
+from .store import ResultStore, StoreStats
 
 ProgressFn = Callable[[str], None]
+ResultFn = Callable[[JobResult], None]
+
+#: Worker-side cache of store handles by root path, so one worker process
+#: reuses a single ResultStore (and its running stats) across all jobs.
+_WORKER_STORES: Dict[str, ResultStore] = {}
 
 
-def _execute_job_dict(job_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: dict in, dict out (must stay module-level picklable)."""
-    return run_verification_job(JobSpec.from_dict(job_dict)).as_dict()
+def _execute_job_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: dict in, dict out (must stay module-level picklable).
+
+    The worker opens (and caches) its own handle on the shared store
+    directory, executes the job with artifact/stage caching, and ships
+    its store-traffic delta home inside the result, so the parent can
+    aggregate campaign-wide cache statistics without double counting.
+    """
+    job = JobSpec.from_dict(payload["job"])
+    store_root = payload.get("store")
+    store: Optional[ResultStore] = None
+    if store_root is not None:
+        store = _WORKER_STORES.get(store_root)
+        if store is None:
+            store = ResultStore(store_root)
+            _WORKER_STORES[store_root] = store
+    before = store.stats.copy() if store is not None else None
+    result = run_verification_job(
+        job, store=store, incremental=bool(payload.get("incremental", False))
+    )
+    if store is not None:
+        result.store_stats = store.stats.diff(before).as_dict()
+    return result.as_dict()
 
 
 def _pool_context():
@@ -44,44 +81,87 @@ def _pool_context():
     return None
 
 
+# -- the persistent pool -----------------------------------------------------------
+
+_WARM_POOL: Optional[ProcessPoolExecutor] = None
+_WARM_POOL_WORKERS = 0
+
+
+def _warm_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared persistent pool, (re)created only when the size changes."""
+    global _WARM_POOL, _WARM_POOL_WORKERS
+    if _WARM_POOL is not None and _WARM_POOL_WORKERS != workers:
+        shutdown_warm_pool()
+    if _WARM_POOL is None:
+        _WARM_POOL = ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        )
+        _WARM_POOL_WORKERS = workers
+    return _WARM_POOL
+
+
+def shutdown_warm_pool() -> None:
+    """Tear down the persistent worker pool (no-op when none is live).
+
+    Campaigns recreate it on demand; call this to reclaim the worker
+    processes and their warm BDD state, e.g. at the end of a long-lived
+    service or between benchmark phases that must not share warmth.
+    """
+    global _WARM_POOL, _WARM_POOL_WORKERS
+    if _WARM_POOL is not None:
+        _WARM_POOL.shutdown()
+        _WARM_POOL = None
+        _WARM_POOL_WORKERS = 0
+
+
+atexit.register(shutdown_warm_pool)
+
+
 def _run_pool(
     pending: List[JobSpec],
     workers: int,
     progress: Optional[ProgressFn],
-) -> List[JobResult]:
-    """Run jobs across a process pool, preserving input order."""
-    results: List[Optional[JobResult]] = [None] * len(pending)
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(pending)), mp_context=_pool_context()
-    ) as pool:
-        future_index = {
-            pool.submit(_execute_job_dict, job.to_dict()): index
-            for index, job in enumerate(pending)
-        }
-        outstanding = set(future_index)
-        while outstanding:
-            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = future_index[future]
-                try:
-                    result = JobResult.from_dict(future.result())
-                except Exception:
-                    # A killed or crashed worker (BrokenProcessPool, lost
-                    # result) fails its job, not the campaign: completed
-                    # results stay, remaining futures surface the same way.
-                    result = JobResult(
-                        job=pending[index],
-                        ok=False,
-                        seconds=0.0,
-                        error=traceback.format_exc(),
-                    )
-                results[index] = result
-                if progress is not None:
-                    status = "ok" if result.ok else "FAIL"
-                    progress(
-                        f"[{result.job.arch}] {status} in {result.seconds:.3f}s"
-                    )
-    return [result for result in results if result is not None]
+    store_root: Optional[str],
+    incremental: bool,
+    consume: Callable[[int, JobResult], None],
+) -> None:
+    """Stream jobs through the persistent pool, consuming results as they land."""
+    pool = _warm_pool(workers)
+    broken = False
+    future_index = {
+        pool.submit(
+            _execute_job_payload,
+            {"job": job.to_dict(), "store": store_root, "incremental": incremental},
+        ): index
+        for index, job in enumerate(pending)
+    }
+    outstanding = set(future_index)
+    while outstanding:
+        done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+        for future in done:
+            index = future_index[future]
+            try:
+                result = JobResult.from_dict(future.result())
+            except Exception as exc:
+                # A killed or crashed worker (BrokenProcessPool, lost
+                # result) fails its job, not the campaign: completed
+                # results stay, remaining futures surface the same way.
+                if isinstance(exc, BrokenProcessPool):
+                    broken = True
+                result = JobResult(
+                    job=pending[index],
+                    ok=False,
+                    seconds=0.0,
+                    error=traceback.format_exc(),
+                )
+            consume(index, result)
+            if progress is not None:
+                status = "ok" if result.ok else "FAIL"
+                progress(f"[{result.job.arch}] {status} in {result.seconds:.3f}s")
+    if broken:
+        # A dead pool never recovers; dispose of it so the next campaign
+        # starts a fresh one instead of failing every submit.
+        shutdown_warm_pool()
 
 
 def run_campaign(
@@ -90,6 +170,8 @@ def run_campaign(
     use_cache: bool = True,
     progress: Optional[ProgressFn] = None,
     workers: Optional[int] = None,
+    incremental: bool = False,
+    on_result: Optional[ResultFn] = None,
 ) -> CampaignReport:
     """Run a whole campaign and aggregate the per-job outcomes.
 
@@ -101,20 +183,48 @@ def run_campaign(
             store before scheduling work (writes happen regardless).
         progress: optional line-oriented progress callback.
         workers: override the campaign's worker count (e.g. from the CLI).
+        incremental: replay stored per-stage results whose dependency
+            hashes are unchanged instead of re-executing those stages
+            (requires ``store``); see
+            :data:`~repro.campaign.spec.STAGE_DEPENDENCIES`.
+        on_result: streaming callback invoked once per job *as results
+            arrive* (cached jobs first, then fresh ones in completion
+            order) — unlike the returned report, which is in job order.
 
     Job failures — verification failures and crashed workers alike — are
     captured in the per-job results; this function only raises for
     orchestration-level errors.
     """
+    if incremental and store is None:
+        raise ValueError("incremental campaigns need a result store")
     worker_count = spec.workers if workers is None else max(1, workers)
     start = time.perf_counter()
+    stats_before = store.stats.copy() if store is not None else None
+    worker_stats = StoreStats()
     results: Dict[int, JobResult] = {}
     pending: List[int] = []
+
+    def finish(index: int, result: JobResult, fresh: bool) -> None:
+        if fresh:
+            # Fold the worker's store-traffic delta into the campaign
+            # tally, then drop it so persisted results stay free of
+            # run-specific counters.
+            if result.store_stats is not None:
+                worker_stats.add(StoreStats.from_dict(result.store_stats))
+                result.store_stats = None
+            # Only passing results are cached: a failure is something to
+            # investigate and re-run, not to replay from disk.
+            if store is not None and result.ok:
+                store.put(spec.jobs[index], result)
+        results[index] = result
+        if on_result is not None:
+            on_result(result)
+
     for index, job in enumerate(spec.jobs):
         cached = store.get(job) if (store is not None and use_cache) else None
         if cached is not None:
             cached.cached = True
-            results[index] = cached
+            finish(index, cached, fresh=False)
             if progress is not None:
                 progress(f"[{job.arch}] cached ({'ok' if cached.ok else 'FAIL'})")
         else:
@@ -123,26 +233,34 @@ def run_campaign(
     if pending:
         pending_jobs = [spec.jobs[index] for index in pending]
         if worker_count > 1 and len(pending_jobs) > 1:
-            fresh = _run_pool(pending_jobs, worker_count, progress)
+            _run_pool(
+                pending_jobs,
+                worker_count,
+                progress,
+                store_root=None if store is None else str(store.root),
+                incremental=incremental,
+                consume=lambda i, result: finish(pending[i], result, fresh=True),
+            )
         else:
-            fresh = []
-            for job in pending_jobs:
-                result = run_verification_job(job)
-                fresh.append(result)
+            for index in pending:
+                job = spec.jobs[index]
+                result = run_verification_job(
+                    job, store=store, incremental=incremental
+                )
+                finish(index, result, fresh=True)
                 if progress is not None:
                     status = "ok" if result.ok else "FAIL"
                     progress(f"[{job.arch}] {status} in {result.seconds:.3f}s")
-        for index, result in zip(pending, fresh):
-            results[index] = result
-            # Only passing results are cached: a failure is something to
-            # investigate and re-run, not to replay from disk.
-            if store is not None and result.ok:
-                store.put(spec.jobs[index], result)
 
+    store_stats: Optional[StoreStats] = None
+    if store is not None:
+        store_stats = store.stats.diff(stats_before)
+        store_stats.add(worker_stats)
     ordered = [results[index] for index in range(len(spec.jobs))]
     return CampaignReport(
         name=spec.name,
         results=ordered,
         workers=worker_count,
         wall_seconds=time.perf_counter() - start,
+        store_stats=store_stats,
     )

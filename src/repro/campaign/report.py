@@ -3,22 +3,29 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..analysis import rate, render_table, summarize_timings
 from .runner import JobResult
+from .store import StoreStats
 
 REPORT_SCHEMA = 1
 
 
 @dataclass
 class CampaignReport:
-    """Everything a campaign run produced, in job order."""
+    """Everything a campaign run produced, in job order.
+
+    ``store_stats`` is the campaign's aggregate store traffic — the
+    parent store's delta plus every worker's — or None when the campaign
+    ran without a store.
+    """
 
     name: str
     results: List[JobResult] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
+    store_stats: Optional[StoreStats] = None
 
     # -- aggregation -------------------------------------------------------------
 
@@ -65,6 +72,24 @@ class CampaignReport:
             [result.seconds for result in self.results if not result.cached]
         )
 
+    def cache_hits(self) -> int:
+        """Store lookups of any kind answered from disk."""
+        if self.store_stats is None:
+            return 0
+        s = self.store_stats
+        return s.hits + s.artifact_hits + s.stage_hits
+
+    def cache_misses(self) -> int:
+        """Store lookups of any kind that required fresh work."""
+        if self.store_stats is None:
+            return 0
+        s = self.store_stats
+        return s.misses + s.artifact_misses + s.stage_misses
+
+    def cache_corrupt(self) -> int:
+        """Store entries that existed but failed validation."""
+        return 0 if self.store_stats is None else self.store_stats.corrupt
+
     # -- rendering ---------------------------------------------------------------
 
     def rows(self) -> List[Dict[str, Any]]:
@@ -87,7 +112,7 @@ class CampaignReport:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready aggregate (written by ``repro campaign --report``)."""
-        return {
+        payload = {
             "schema": REPORT_SCHEMA,
             "name": self.name,
             "workers": self.workers,
@@ -97,10 +122,16 @@ class CampaignReport:
             "failed": len(self.failed()),
             "errored": len(self.errored()),
             "cached": len(self.cached()),
+            "cache_hits": self.cache_hits(),
+            "cache_misses": self.cache_misses(),
+            "cache_corrupt": self.cache_corrupt(),
             "stage_pass_rates": self.stage_pass_rates(),
             "timing": self.timing_summary(),
             "jobs": [result.as_dict() for result in self.results],
         }
+        if self.store_stats is not None:
+            payload["cache"] = self.store_stats.as_dict()
+        return payload
 
     def describe(self) -> str:
         """Multi-line human-readable campaign summary."""
@@ -115,6 +146,14 @@ class CampaignReport:
             lines.append(
                 f"  fresh job seconds: total {timing['total']:.3f}, "
                 f"mean {timing['mean']:.3f}, max {timing['max']:.3f}"
+            )
+        if self.store_stats is not None:
+            s = self.store_stats
+            lines.append(
+                f"  store: jobs {s.hits}/{s.hits + s.misses} hit, "
+                f"artifacts {s.artifact_hits}/{s.artifact_hits + s.artifact_misses} hit, "
+                f"stages {s.stage_hits}/{s.stage_hits + s.stage_misses} hit, "
+                f"{s.corrupt} corrupt"
             )
         for stage, stage_rate in sorted(self.stage_pass_rates().items()):
             lines.append(f"  stage {stage}: {stage_rate}")

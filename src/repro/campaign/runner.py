@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import time
 import traceback
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..analysis import classify_stalls, coverage_of
 from ..archs import load_architecture
 from ..assertions import monitor_trace, testbench_assertions
+from ..bdd.serialize import ArtifactError
 from ..checking import PropertyChecker
 from ..faults import FaultCampaign, FaultInjector
 from ..pipeline import ClosedFormInterlock, simulate
@@ -45,6 +47,7 @@ from ..spec import (
     most_liberal_is_maximal,
     symbolic_most_liberal,
 )
+from ..spec.derivation import DerivationResult
 from ..workloads import WorkloadGenerator, WorkloadProfile
 from .spec import CANONICAL_STAGES, JobSpec
 
@@ -84,7 +87,14 @@ class StageResult:
 
 @dataclass
 class JobResult:
-    """Outcome of one whole verification job."""
+    """Outcome of one whole verification job.
+
+    ``store_stats`` carries a worker-side :class:`StoreStats` delta as a
+    plain counter dict when the job executed in another process against
+    its own store handle; the orchestrator folds it into the campaign
+    tally.  It stays None for in-process execution, where the parent's
+    store instance counted the traffic directly.
+    """
 
     job: JobSpec
     ok: bool
@@ -92,6 +102,7 @@ class JobResult:
     stages: List[StageResult] = field(default_factory=list)
     error: Optional[str] = None
     cached: bool = False
+    store_stats: Optional[Dict[str, int]] = None
 
     def stage(self, name: str) -> StageResult:
         """Look up a stage result by name (KeyError when absent)."""
@@ -106,7 +117,7 @@ class JobResult:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (inverse of :meth:`from_dict`)."""
-        return {
+        payload = {
             "schema": RESULT_SCHEMA,
             "job": self.job.to_dict(),
             "ok": self.ok,
@@ -114,6 +125,9 @@ class JobResult:
             "stages": [stage.as_dict() for stage in self.stages],
             "error": self.error,
         }
+        if self.store_stats is not None:
+            payload["store"] = dict(self.store_stats)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "JobResult":
@@ -127,13 +141,104 @@ class JobResult:
             seconds=float(payload["seconds"]),
             stages=[StageResult.from_dict(s) for s in payload.get("stages", [])],
             error=payload.get("error"),
+            store_stats=payload.get("store"),
         )
+
+
+# -- warm per-process architecture state -------------------------------------------
+
+#: How many architectures' symbolic state one worker keeps live.  A warm
+#: entry holds the loaded architecture, its functional spec and (after
+#: the first job touches it) the derivation with its BDD manager, so a
+#: campaign sweeping many jobs over few architectures pays the symbolic
+#: setup once per worker instead of once per job.
+_WARM_CAPACITY = 8
+
+_WARM_STATE: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+
+def _arch_state(arch: str) -> Dict[str, Any]:
+    """The warm state for one architecture (LRU-cached per process).
+
+    Everything cached here — architecture, spec, derivation — is a
+    deterministic function of the architecture name, so reuse across
+    jobs with different workload knobs is sound.
+    """
+    state = _WARM_STATE.get(arch)
+    if state is None:
+        architecture = load_architecture(arch)
+        state = {
+            "architecture": architecture,
+            "spec": build_functional_spec(architecture),
+        }
+        _WARM_STATE[arch] = state
+        while len(_WARM_STATE) > _WARM_CAPACITY:
+            _WARM_STATE.popitem(last=False)
+    else:
+        _WARM_STATE.move_to_end(arch)
+    return state
+
+
+def clear_warm_state() -> None:
+    """Drop all warm architecture state (frees the cached BDD managers)."""
+    _WARM_STATE.clear()
+
+
+def _ensure_derivation(state: Dict[str, Any], job: JobSpec, store: Optional[Any]):
+    """The derivation later stages depend on, cheapest source first.
+
+    Order of preference: the warm state (free), a stored binary artifact
+    (milliseconds), a fresh fixed-point derivation (which is then dumped
+    to the store, keyed by the ``derive`` stage's dependency hash, for
+    every future job sharing this architecture).  Returns the derivation
+    and where it came from (``"warm"``/``"artifact"``/``"computed"``).
+    """
+    if "derivation" in state:
+        derivation = state["derivation"]
+        if store is not None:
+            # A warm worker pointed at a fresh store must still populate
+            # it, or cold restarts would re-derive; the existence check
+            # is not a lookup, so it does not skew the hit/miss tally.
+            key = job.stage_key("derive")
+            if not store.artifact_path(key).exists():
+                try:
+                    store.put_artifact(
+                        key, derivation.to_artifact_bytes(include_covers=True)
+                    )
+                except (ValueError, OSError):
+                    pass
+        return derivation, "warm"
+    spec = state["spec"]
+    if store is not None:
+        key = job.stage_key("derive")
+        data = store.get_artifact(key)
+        if data is not None:
+            try:
+                derivation = DerivationResult.from_artifact_bytes(spec, data)
+            except ArtifactError:
+                store.note_corrupt_artifact(key)
+            else:
+                state["derivation"] = derivation
+                return derivation, "artifact"
+    derivation = symbolic_most_liberal(spec)
+    state["derivation"] = derivation
+    if store is not None:
+        try:
+            store.put_artifact(
+                job.stage_key("derive"),
+                derivation.to_artifact_bytes(include_covers=True),
+            )
+        except (ValueError, OSError):
+            pass
+    return derivation, "computed"
 
 
 # -- stage implementations ---------------------------------------------------------
 
 
-def _stage_properties(state: Dict[str, Any], job: JobSpec) -> StageResult:
+def _stage_properties(
+    state: Dict[str, Any], job: JobSpec, store: Optional[Any]
+) -> StageResult:
     report = check_all_properties(state["spec"])
     details = {check.name: check.holds for check in report.checks}
     return StageResult(
@@ -141,15 +246,17 @@ def _stage_properties(state: Dict[str, Any], job: JobSpec) -> StageResult:
     )
 
 
-def _stage_derive(state: Dict[str, Any], job: JobSpec) -> StageResult:
-    derivation = symbolic_most_liberal(state["spec"])
-    state["derivation"] = derivation
+def _stage_derive(
+    state: Dict[str, Any], job: JobSpec, store: Optional[Any]
+) -> StageResult:
+    derivation, source = _ensure_derivation(state, job, store)
     details = {
         "iterations": derivation.iterations,
         "feed_forward": derivation.feed_forward,
         "moe_flags": len(state["spec"].moe_flags()),
         "inputs": len(state["spec"].input_signals()),
         "bdd_nodes": sum(derivation.bdd_sizes.values()),
+        "source": source,
     }
     context = getattr(derivation, "context", None)
     if context is not None:
@@ -159,21 +266,19 @@ def _stage_derive(state: Dict[str, Any], job: JobSpec) -> StageResult:
     return StageResult(name="derive", ok=True, seconds=0.0, details=details)
 
 
-def _derivation(state: Dict[str, Any]):
-    """The (possibly untimed) derivation later stages depend on."""
-    if "derivation" not in state:
-        state["derivation"] = symbolic_most_liberal(state["spec"])
-    return state["derivation"]
-
-
-def _stage_maximality(state: Dict[str, Any], job: JobSpec) -> StageResult:
-    ok = most_liberal_is_maximal(state["spec"], _derivation(state))
+def _stage_maximality(
+    state: Dict[str, Any], job: JobSpec, store: Optional[Any]
+) -> StageResult:
+    derivation, _ = _ensure_derivation(state, job, store)
+    ok = most_liberal_is_maximal(state["spec"], derivation)
     return StageResult(name="maximality", ok=ok, seconds=0.0, details={})
 
 
-def _stage_obligations(state: Dict[str, Any], job: JobSpec) -> StageResult:
+def _stage_obligations(
+    state: Dict[str, Any], job: JobSpec, store: Optional[Any]
+) -> StageResult:
     spec = state["spec"]
-    derivation = _derivation(state)
+    derivation, _ = _ensure_derivation(state, job, store)
     context = derivation.context
     moe_nodes = {moe: fn.node for moe, fn in derivation.moe_functions.items()}
     obligations = {}
@@ -190,7 +295,9 @@ def _stage_obligations(state: Dict[str, Any], job: JobSpec) -> StageResult:
     )
 
 
-def _stage_faults(state: Dict[str, Any], job: JobSpec) -> StageResult:
+def _stage_faults(
+    state: Dict[str, Any], job: JobSpec, store: Optional[Any]
+) -> StageResult:
     spec = state["spec"]
     architecture = state["architecture"]
     profile = WorkloadProfile(length=job.workload_length)
@@ -223,10 +330,12 @@ def _stage_faults(state: Dict[str, Any], job: JobSpec) -> StageResult:
     return StageResult(name="faults", ok=missed == 0, seconds=0.0, details=details)
 
 
-def _stage_analysis(state: Dict[str, Any], job: JobSpec) -> StageResult:
+def _stage_analysis(
+    state: Dict[str, Any], job: JobSpec, store: Optional[Any]
+) -> StageResult:
     spec = state["spec"]
     architecture = state["architecture"]
-    derivation = _derivation(state)
+    derivation, _ = _ensure_derivation(state, job, store)
     interlock = ClosedFormInterlock.from_derivation(derivation)
     program = WorkloadGenerator(architecture, seed=job.workload_seed).generate(
         WorkloadProfile(length=job.workload_length)
@@ -251,7 +360,9 @@ def _stage_analysis(state: Dict[str, Any], job: JobSpec) -> StageResult:
     return StageResult(name="analysis", ok=ok, seconds=0.0, details=details)
 
 
-_STAGE_IMPLS: Dict[str, Callable[[Dict[str, Any], JobSpec], StageResult]] = {
+_STAGE_IMPLS: Dict[
+    str, Callable[[Dict[str, Any], JobSpec, Optional[Any]], StageResult]
+] = {
     "properties": _stage_properties,
     "derive": _stage_derive,
     "maximality": _stage_maximality,
@@ -261,21 +372,31 @@ _STAGE_IMPLS: Dict[str, Callable[[Dict[str, Any], JobSpec], StageResult]] = {
 }
 
 
-def run_verification_job(job: JobSpec) -> JobResult:
+def run_verification_job(
+    job: JobSpec,
+    store: Optional[Any] = None,
+    incremental: bool = False,
+) -> JobResult:
     """Run one job's stages in canonical order and collect the outcome.
 
     A stage that raises is recorded as failed with the traceback in the
     job error and aborts the remaining stages; the orchestrator keeps the
     campaign going with the other jobs.
+
+    With a ``store`` (any object with the :class:`ResultStore` artifact
+    and stage methods), derivations are loaded from / dumped to binary
+    artifacts keyed by dependency hash, and every passing stage's result
+    is recorded under its own :meth:`JobSpec.stage_key`.  With
+    ``incremental`` additionally set, stages whose dependency hash
+    already has a passing stored result are *not* re-executed — their
+    stored result is replayed with ``details["from_store"] = True`` —
+    which is what makes editing one workload knob re-run only the stages
+    that read it.
     """
     start = time.perf_counter()
     stages: List[StageResult] = []
     try:
-        architecture = load_architecture(job.arch)
-        state: Dict[str, Any] = {
-            "architecture": architecture,
-            "spec": build_functional_spec(architecture),
-        }
+        state = _arch_state(job.arch)
     except Exception:
         return JobResult(
             job=job,
@@ -289,8 +410,22 @@ def run_verification_job(job: JobSpec) -> JobResult:
         if name not in job.stages:
             continue
         stage_start = time.perf_counter()
+        if incremental and store is not None:
+            cached = store.get_stage(name, job.stage_key(name))
+            if cached is not None and cached.ok:
+                details = dict(cached.details)
+                details["from_store"] = True
+                stages.append(
+                    StageResult(
+                        name=name,
+                        ok=True,
+                        seconds=time.perf_counter() - stage_start,
+                        details=details,
+                    )
+                )
+                continue
         try:
-            result = _STAGE_IMPLS[name](state, job)
+            result = _STAGE_IMPLS[name](state, job, store)
             result.seconds = time.perf_counter() - stage_start
         except Exception:
             result = StageResult(
@@ -298,6 +433,11 @@ def run_verification_job(job: JobSpec) -> JobResult:
             )
             error = traceback.format_exc()
         stages.append(result)
+        if error is None and result.ok and store is not None:
+            try:
+                store.put_stage(job.stage_key(name), result)
+            except OSError:
+                pass
         if error is not None:
             break
     ok = error is None and all(stage.ok for stage in stages)

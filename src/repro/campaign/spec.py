@@ -32,6 +32,31 @@ CANONICAL_STAGES: Tuple[str, ...] = (
 )
 
 
+#: Which :class:`JobSpec` fields each verification stage actually reads.
+#:
+#: This is the incremental-campaign contract: a stage's store key hashes
+#: only these fields, so editing a workload knob (seed, length, fault
+#: budget) leaves the structural stages' keys — and their cached results
+#: and derivation artifacts — intact.  Structural stages depend only on
+#: ``arch`` because canonical family names (``fam-r2w1d3s1-bypass``)
+#: encode the full structural configuration; hashing the name is hashing
+#: the structure.
+STAGE_DEPENDENCIES: Dict[str, Tuple[str, ...]] = {
+    "properties": ("arch",),
+    "derive": ("arch",),
+    "maximality": ("arch",),
+    "obligations": ("arch",),
+    "faults": (
+        "arch",
+        "workload_length",
+        "workload_seed",
+        "num_programs",
+        "max_faults",
+    ),
+    "analysis": ("arch", "workload_length", "workload_seed"),
+}
+
+
 class CampaignSpecError(ValueError):
     """Raised for malformed campaign or job specifications."""
 
@@ -111,6 +136,31 @@ class JobSpec:
         """
         canonical = json.dumps(
             {"schema": SPEC_SCHEMA, "job": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def stage_key(self, stage: str) -> str:
+        """Content hash of one stage's *inputs* (see STAGE_DEPENDENCIES).
+
+        Unlike :meth:`job_key` this only covers the fields the stage
+        reads, so two jobs differing only in (say) the workload seed
+        share the structural stages' keys — the basis for incremental
+        re-verification and artifact reuse across sweeps.
+        """
+        try:
+            dependencies = STAGE_DEPENDENCIES[stage]
+        except KeyError:
+            raise CampaignSpecError(
+                f"unknown stage {stage!r}; expected one of {list(CANONICAL_STAGES)}"
+            ) from None
+        canonical = json.dumps(
+            {
+                "schema": SPEC_SCHEMA,
+                "stage": stage,
+                "deps": {name: getattr(self, name) for name in dependencies},
+            },
             sort_keys=True,
             separators=(",", ":"),
         )

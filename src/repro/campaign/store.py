@@ -1,4 +1,4 @@
-"""Content-hashed per-job JSON result store.
+"""Content-hashed result and artifact store for verification campaigns.
 
 Each verified configuration lands in one file named by the SHA-256 of
 its canonical job specification (:meth:`JobSpec.job_key`), so a re-run
@@ -6,6 +6,24 @@ of the same campaign finds every unchanged job by pure content address —
 no database, no index to corrupt, safe to merge across machines by
 copying files.  Only passing results are cached by default: a failure
 should be re-examined, not remembered.
+
+Beyond whole-job JSON verdicts the store also holds *derived artifacts*:
+
+``artifact-<stage_key>.bdd``
+    binary BDD artifacts (:mod:`repro.bdd.serialize`) — today the
+    closed-form derivation per architecture, keyed by the ``derive``
+    stage's dependency hash so every job sharing the architecture shares
+    the artifact;
+``stage-<stage_key>.json``
+    individual stage results keyed by the hash of only the job fields
+    that stage reads (:data:`~repro.campaign.spec.STAGE_DEPENDENCIES`),
+    which is what makes campaigns *incremental*: edit one workload knob
+    and only the stages that depend on it lose their cache entries.
+
+Every read and write is tallied in :class:`StoreStats` so campaign
+reports can surface exactly how much work the cache absorbed, including
+corrupt entries (checksum or schema mismatches), which are counted and
+then treated as plain misses.
 """
 
 from __future__ import annotations
@@ -13,19 +31,71 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from .runner import JobResult
+from .runner import JobResult, StageResult
 from .spec import JobSpec
+
+_ARTIFACT_PREFIX = "artifact-"
+_STAGE_PREFIX = "stage-"
+
+
+@dataclass
+class StoreStats:
+    """Running tally of store traffic, one counter pair per entry kind.
+
+    ``corrupt`` counts entries of any kind that existed but failed
+    validation (bad JSON, checksum mismatch, schema drift, key
+    collision); every corrupt read is *also* a miss for its kind, so
+    hits + misses always equals the number of lookups.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    stage_hits: int = 0
+    stage_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready counter snapshot."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff(self, before: "StoreStats") -> "StoreStats":
+        """Counter deltas since an earlier snapshot."""
+        return StoreStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def add(self, other: "StoreStats") -> None:
+        """Accumulate another tally (e.g. a worker's delta) in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "StoreStats":
+        return StoreStats(**self.as_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StoreStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in payload.items() if k in known})
 
 
 class ResultStore:
-    """Directory of per-job result files keyed by job content hash."""
+    """Directory of content-addressed results, stages and BDD artifacts."""
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # -- whole-job results -------------------------------------------------------
 
     def path_for(self, job: JobSpec) -> Path:
         """Where this job's result lives (whether or not it exists yet)."""
@@ -34,35 +104,69 @@ class ResultStore:
     def get(self, job: JobSpec) -> Optional[JobResult]:
         """The stored result for a job, or None when absent or unreadable.
 
-        A corrupt or schema-incompatible file is treated as a miss — the
-        job simply re-runs and overwrites it.
+        A corrupt or schema-incompatible file is counted and treated as
+        a miss — the job simply re-runs and overwrites it.
         """
         path = self.path_for(job)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             result = JobResult.from_dict(payload)
         except (OSError, ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
             return None
         # Hash collisions aside, the stored job must equal the requested
         # one; a mismatch means the file was tampered with or the hashing
         # scheme changed, and either way the cache must not answer.
         if result.job.to_dict() != job.to_dict():
+            self.stats.corrupt += 1
+            self.stats.misses += 1
             return None
+        self.stats.hits += 1
         return result
 
     def put(self, job: JobSpec, result: JobResult) -> Path:
         """Persist a job result atomically; returns the file path."""
         path = self.path_for(job)
-        # The ".part" suffix keeps a leaked temp file (worker SIGKILLed
-        # between mkstemp and replace) out of keys()/len()'s "*.json" glob.
+        self._write_json(path, result.as_dict())
+        return path
+
+    # -- binary BDD artifacts ----------------------------------------------------
+
+    def artifact_path(self, key: str) -> Path:
+        """Where the artifact for a stage key lives."""
+        return self.root / f"{_ARTIFACT_PREFIX}{key}.bdd"
+
+    def get_artifact(self, key: str) -> Optional[bytes]:
+        """Raw artifact bytes for a stage key, or None when absent.
+
+        Integrity is the *artifact format's* job (its trailing SHA-256);
+        callers that hit :class:`~repro.bdd.serialize.ArtifactError`
+        while parsing should report it via :meth:`note_corrupt_artifact`
+        so the tally stays honest.
+        """
+        path = self.artifact_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.artifact_misses += 1
+            return None
+        self.stats.artifact_hits += 1
+        return data
+
+    def put_artifact(self, key: str, data: bytes) -> Path:
+        """Persist artifact bytes atomically; returns the file path."""
+        path = self.artifact_path(key)
         handle, temp_name = tempfile.mkstemp(
             dir=str(self.root), prefix=".tmp-", suffix=".part"
         )
         try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(result.as_dict(), stream, indent=2, sort_keys=True)
-                stream.write("\n")
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -72,17 +176,103 @@ class ResultStore:
             raise
         return path
 
+    def note_corrupt_artifact(self, key: str) -> None:
+        """Record that a previously-hit artifact failed to parse.
+
+        Converts the optimistic hit into a corrupt miss and deletes the
+        bad file so the next run rebuilds it cleanly.
+        """
+        self.stats.artifact_hits = max(0, self.stats.artifact_hits - 1)
+        self.stats.artifact_misses += 1
+        self.stats.corrupt += 1
+        try:
+            self.artifact_path(key).unlink()
+        except OSError:
+            pass
+
+    def artifact_keys(self) -> List[str]:
+        """Stage keys of every stored binary artifact."""
+        return sorted(
+            path.stem[len(_ARTIFACT_PREFIX):]
+            for path in self.root.glob(f"{_ARTIFACT_PREFIX}*.bdd")
+        )
+
+    # -- per-stage results -------------------------------------------------------
+
+    def stage_path(self, key: str) -> Path:
+        """Where the stage result for a dependency hash lives."""
+        return self.root / f"{_STAGE_PREFIX}{key}.json"
+
+    def get_stage(self, stage: str, key: str) -> Optional[StageResult]:
+        """A cached stage result, or None when absent/corrupt/mismatched."""
+        path = self.stage_path(key)
+        if not path.exists():
+            self.stats.stage_misses += 1
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = StageResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.stage_misses += 1
+            return None
+        if result.name != stage:
+            self.stats.corrupt += 1
+            self.stats.stage_misses += 1
+            return None
+        self.stats.stage_hits += 1
+        return result
+
+    def put_stage(self, key: str, result: StageResult) -> Path:
+        """Persist one stage's result atomically; returns the file path."""
+        path = self.stage_path(key)
+        self._write_json(path, result.as_dict())
+        return path
+
+    def stage_keys(self) -> List[str]:
+        """Dependency hashes of every stored per-stage result."""
+        return sorted(
+            path.stem[len(_STAGE_PREFIX):]
+            for path in self.root.glob(f"{_STAGE_PREFIX}*.json")
+        )
+
+    # -- store-wide --------------------------------------------------------------
+
     def keys(self) -> List[str]:
-        """Content hashes currently present in the store."""
-        return sorted(path.stem for path in self.root.glob("*.json"))
+        """Content hashes of whole-job results currently present."""
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.json")
+            if not path.name.startswith(_STAGE_PREFIX)
+        )
 
     def __len__(self) -> int:
         return len(self.keys())
 
     def clear(self) -> int:
-        """Delete every stored result; returns how many were removed."""
+        """Delete every stored entry of any kind; returns how many."""
         removed = 0
-        for path in self.root.glob("*.json"):
-            path.unlink()
-            removed += 1
+        for pattern in ("*.json", f"{_ARTIFACT_PREFIX}*.bdd"):
+            for path in self.root.glob(pattern):
+                path.unlink()
+                removed += 1
         return removed
+
+    def _write_json(self, path: Path, payload: Dict[str, Any]) -> None:
+        # The ".part" suffix keeps a leaked temp file (worker SIGKILLed
+        # between mkstemp and replace) out of keys()/len()'s "*.json" glob.
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".part"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise

@@ -26,8 +26,11 @@ Sub-commands
                           exhaustive sweeps, property checking) and write JSON
 ``campaign``              shard end-to-end verification jobs over many
                           architectures (a parametric family sweep and/or
-                          named designs) across worker processes, with
-                          content-hashed result caching
+                          named designs) across persistent worker processes,
+                          with content-hashed result, stage and BDD-artifact
+                          caching (``--incremental`` replays unchanged stages)
+``artifact``              inspect the binary BDD artifacts in a result store
+                          (variable order, node counts, payload metadata)
 ========================  =====================================================
 
 Every sub-command accepts either ``--arch <name>`` (a bundled architecture
@@ -336,6 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-verify every configuration even when a cached result exists",
     )
     campaign.add_argument(
+        "--incremental",
+        action="store_true",
+        help="replay stored per-stage results whose dependency hashes are "
+        "unchanged instead of re-executing those stages (requires --store); "
+        "e.g. after changing only the workload seed, the structural stages "
+        "answer from the store and only faults/analysis re-run",
+    )
+    campaign.add_argument(
         "--report", help="write the aggregate report (JSON) to this file"
     )
     campaign.add_argument(
@@ -346,6 +357,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="list the campaign's jobs and exit without verifying",
+    )
+
+    artifact = subparsers.add_parser(
+        "artifact",
+        help="inspect binary BDD artifacts in a campaign result store",
+        description="Summarize serialized derivation artifacts: variable "
+        "order, node counts, roots, payload metadata and stored covers.",
+    )
+    artifact_source = artifact.add_mutually_exclusive_group(required=True)
+    artifact_source.add_argument(
+        "--store",
+        help="result-store directory; lists every artifact-*.bdd it holds",
+    )
+    artifact_source.add_argument(
+        "--file", help="inspect one artifact file in detail"
     )
 
     return parser
@@ -612,12 +638,15 @@ def _cmd_campaign(args: argparse.Namespace, out: TextIO) -> int:
             out.write(f"  {job.arch}  stages={','.join(job.stages)}\n")
         return 0
     store = ResultStore(args.store) if args.store else None
+    if args.incremental and store is None:
+        raise CliError("--incremental requires a result store (--store)")
     report = run_campaign(
         spec,
         store=store,
         use_cache=not args.no_cache,
         progress=lambda line: out.write(line + "\n"),
         workers=args.workers,
+        incremental=args.incremental,
     )
     out.write(report.describe() + "\n")
     if args.report:
@@ -626,6 +655,50 @@ def _cmd_campaign(args: argparse.Namespace, out: TextIO) -> int:
             handle.write("\n")
         out.write(f"aggregate report written to {args.report}\n")
     return 0 if report.all_ok() else 1
+
+
+def _cmd_artifact(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+    from pathlib import Path
+
+    from .bdd import ArtifactError, inspect_artifact
+
+    def summarize(path: Path) -> None:
+        try:
+            summary = inspect_artifact(path.read_bytes())
+        except (OSError, ArtifactError) as exc:
+            out.write(f"{path.name}: CORRUPT ({exc})\n")
+            return
+        payload = summary.get("payload") or {}
+        label = payload.get("spec") or payload.get("kind") or "-"
+        out.write(
+            f"{path.name}: {label}  nodes={summary['num_nodes']} "
+            f"vars={summary['num_variables']} bytes={summary['bytes']} "
+            f"roots={','.join(summary['roots'])}"
+            f"{'  +covers' if summary['has_covers'] else ''}\n"
+        )
+
+    if args.file:
+        path = Path(args.file)
+        try:
+            summary = inspect_artifact(path.read_bytes())
+        except OSError as exc:
+            raise CliError(f"cannot read {args.file}: {exc}") from exc
+        except ArtifactError as exc:
+            raise CliError(f"{args.file} is not a valid artifact: {exc}") from exc
+        json.dump(summary, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+    root = Path(args.store)
+    if not root.is_dir():
+        raise CliError(f"store directory {args.store!r} does not exist")
+    paths = sorted(root.glob("artifact-*.bdd"))
+    if not paths:
+        out.write(f"no artifacts in {args.store}\n")
+        return 0
+    for path in paths:
+        summarize(path)
+    return 0
 
 
 _COMMANDS = {
@@ -640,6 +713,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,
+    "artifact": _cmd_artifact,
 }
 
 

@@ -43,6 +43,7 @@ from typing import Dict, List, Mapping, Optional
 
 from ..bdd.expr_to_bdd import ExprBddContext
 from ..bdd.ordering import register_interleaved_order
+from ..bdd.serialize import ArtifactError
 from ..expr.ast import Expr, Not, TRUE, Var
 from ..expr.evaluate import eval_expr
 from ..expr.printer import to_text
@@ -185,6 +186,80 @@ class DerivationResult:
                     for moe, expr in self.moe_expressions.items()
                 }
         return dict(self._stall_expressions)
+
+    # -- artifact round trip -----------------------------------------------------
+
+    def to_artifact_bytes(self, include_covers: bool = False) -> bytes:
+        """Serialize the whole derivation as one binary artifact.
+
+        The artifact carries the closed-form moe functions (level-ordered
+        node table + variable-order manifest), the derivation metadata
+        (iterations, feed-forward flag, per-flag BDD sizes) and — with
+        ``include_covers`` — the minimized ISOP covers, so a loader gets
+        cached materialization too.  The specification itself is *not*
+        embedded: it is cheaply rebuilt from the architecture, and
+        :meth:`from_artifact_bytes` verifies the artifact matches the
+        spec it is being attached to.
+
+        Expression-backed results (legacy ``expr`` backend, optimiser
+        output) carry no symbolic functions and cannot be serialized.
+        """
+        if self.moe_functions is None:
+            raise ValueError(
+                "expression-backed derivation results cannot be serialized; "
+                "re-derive with the default 'bdd' backend"
+            )
+        from ..symbolic.serialize import dump_functions
+
+        payload = {
+            "kind": "derivation",
+            "spec": self.spec.name,
+            "iterations": self.iterations,
+            "feed_forward": self.feed_forward,
+            "bdd_sizes": dict(self.bdd_sizes),
+        }
+        return dump_functions(
+            self.moe_functions, payload=payload, include_covers=include_covers
+        )
+
+    @classmethod
+    def from_artifact_bytes(
+        cls,
+        spec: FunctionalSpec,
+        data: bytes,
+        context: Optional[SymbolicContext] = None,
+    ) -> "DerivationResult":
+        """Rebuild a derivation from artifact bytes for a known spec.
+
+        Loads into a fresh context mirroring the source's variable order
+        (balanced-reduce on, matching :func:`symbolic_most_liberal`), or
+        splices into ``context`` when given.  Raises
+        :class:`~repro.bdd.serialize.ArtifactError` when the bytes are
+        corrupt, truncated, or do not belong to ``spec`` — callers treat
+        that exactly like a cache miss and re-derive.
+        """
+        from ..symbolic.serialize import load_functions
+
+        loaded = load_functions(data, context=context, balanced_reduce=True)
+        payload = loaded.payload
+        if payload.get("kind") != "derivation":
+            raise ArtifactError("artifact does not hold a derivation result")
+        if payload.get("spec") != spec.name:
+            raise ArtifactError(
+                f"derivation artifact belongs to spec {payload.get('spec')!r}, "
+                f"not {spec.name!r}"
+            )
+        if set(loaded.functions) != set(spec.moe_flags()):
+            raise ArtifactError(
+                "derivation artifact's moe flags do not match the specification"
+            )
+        return cls(
+            spec=spec,
+            iterations=int(payload.get("iterations", 1)),
+            feed_forward=bool(payload.get("feed_forward", False)),
+            moe_functions=loaded.functions,
+            bdd_sizes=payload.get("bdd_sizes"),
+        )
 
     # -- evaluation and rendering ------------------------------------------------
 

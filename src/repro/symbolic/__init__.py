@@ -7,5 +7,18 @@ covers only at the printing/HDL/monitoring boundary.
 """
 
 from .function import SymbolicContext, SymbolicFunction
+from .serialize import (
+    ArtifactError,
+    LoadedFunctions,
+    dump_functions,
+    load_functions,
+)
 
-__all__ = ["SymbolicContext", "SymbolicFunction"]
+__all__ = [
+    "ArtifactError",
+    "LoadedFunctions",
+    "SymbolicContext",
+    "SymbolicFunction",
+    "dump_functions",
+    "load_functions",
+]

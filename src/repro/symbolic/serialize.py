@@ -1,0 +1,155 @@
+"""Artifact round trips for :class:`~repro.symbolic.SymbolicFunction` sets.
+
+This is the symbolic-layer view of :mod:`repro.bdd.serialize`: a named
+set of functions sharing one :class:`~repro.symbolic.SymbolicContext` is
+dumped to one self-contained byte string (node table + variable-order
+manifest + optional minimized ISOP covers + caller payload), and loaded
+back either into a fresh context — reconstructed with the source's full
+variable order — or spliced into an existing compatible context, where
+per-node deduplication makes a reloaded function *pointer-equal* to the
+function it was dumped from.
+
+Including covers snapshots the materialization work too: on load they
+prime the context's expression cache, so ``to_expr`` on a loaded
+function is a dictionary lookup instead of an ISOP extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..expr.ast import Expr, Not
+from ..bdd.serialize import (
+    ArtifactError,
+    dump_nodes,
+    parse_artifact,
+    splice_nodes,
+)
+from .function import SymbolicContext, SymbolicFunction
+
+__all__ = [
+    "ArtifactError",
+    "LoadedFunctions",
+    "dump_functions",
+    "load_functions",
+]
+
+
+@dataclass
+class LoadedFunctions:
+    """What :func:`load_functions` hands back."""
+
+    context: SymbolicContext
+    functions: Dict[str, SymbolicFunction]
+    payload: Dict[str, Any]
+    manifest: Dict[str, Any]
+
+
+def dump_functions(
+    functions: Mapping[str, SymbolicFunction],
+    payload: Optional[Dict[str, Any]] = None,
+    include_covers: bool = False,
+    use_numpy: Optional[bool] = None,
+) -> bytes:
+    """Serialize named functions (one shared context) to artifact bytes.
+
+    Args:
+        functions: name → function; all must share one context.
+        payload: arbitrary JSON metadata stored in the manifest.
+        include_covers: also store each function's minimized ISOP cover
+            (materializing it now if needed), so loaders get cached
+            expressions for free.
+        use_numpy: forwarded to the binary encoder (None = automatic).
+    """
+    if not functions:
+        raise ValueError("cannot serialize an empty function set")
+    contexts = {fn.context for fn in functions.values()}
+    if len(contexts) != 1:
+        raise ValueError("all serialized functions must share one SymbolicContext")
+    context = next(iter(contexts))
+    covers = None
+    if include_covers:
+        covers = {}
+        for name, fn in functions.items():
+            complemented, cubes = context.minimized_cover(fn.node)
+            # At dump time a cube's variable index in the manifest order
+            # *is* its manager level, because the manifest records the
+            # full source order.
+            covers[name] = {"complemented": complemented, "cubes": cubes}
+    return dump_nodes(
+        context.manager,
+        roots={name: fn.node for name, fn in functions.items()},
+        scopes={name: fn.scope for name, fn in functions.items()},
+        covers=covers,
+        payload=payload,
+        use_numpy=use_numpy,
+    )
+
+
+def load_functions(
+    data: bytes,
+    context: Optional[SymbolicContext] = None,
+    use_numpy: Optional[bool] = None,
+    balanced_reduce: bool = False,
+) -> LoadedFunctions:
+    """Load an artifact into a context (a fresh one by default).
+
+    With ``context`` given, nodes are spliced into its manager and
+    deduplicate against everything it already holds — loading an artifact
+    back into its source context returns pointer-equal functions.  The
+    context's variable order must be compatible (the artifact's variables
+    in the same relative order); otherwise :class:`ArtifactError` is
+    raised and the caller should retry with a fresh context.
+
+    ``balanced_reduce`` only applies when a fresh context is created.
+    """
+    parsed = parse_artifact(data, use_numpy=use_numpy)
+    if context is None:
+        context = SymbolicContext(
+            parsed.variables, balanced_reduce=balanced_reduce
+        )
+    roots = splice_nodes(context.manager, parsed)
+    manifest = parsed.manifest
+    scopes = manifest.get("scopes", {})
+    functions = {
+        name: context.function(node, scope=scopes.get(name))
+        for name, node in roots.items()
+    }
+    for name, cover in (manifest.get("covers") or {}).items():
+        fn = functions.get(name)
+        if fn is None:
+            continue
+        _prime_cover(context, fn.node, cover, parsed.variables)
+    return LoadedFunctions(
+        context=context,
+        functions=functions,
+        payload=dict(manifest.get("payload") or {}),
+        manifest=manifest,
+    )
+
+
+def _prime_cover(
+    context: SymbolicContext, node: int, cover: Dict[str, Any], variables: list
+) -> None:
+    """Install a stored minimized cover into the context's expr cache.
+
+    ``variables`` is the *artifact's* manifest order — cube indexes refer
+    to it, and the target context may interleave other variables.
+    """
+    if node in context._expr_cache:
+        return
+    try:
+        cubes = tuple(
+            tuple((context.manager.level_of(variables[index]), bool(polarity))
+                  for index, polarity in cube)
+            for cube in cover["cubes"]
+        )
+        complemented = bool(cover["complemented"])
+    except (IndexError, KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"artifact cover is malformed: {exc}") from exc
+    expr: Expr = context._cubes_to_expr(cubes)
+    if complemented:
+        expr = Not(expr)
+    context._expr_cache[node] = expr
+    context._compile_cache.setdefault(expr, node)

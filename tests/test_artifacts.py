@@ -1,0 +1,243 @@
+"""Tests for the binary BDD artifact format and its symbolic round trips.
+
+The load contract is exact: an artifact spliced back into its *source*
+context must deduplicate into pointer-equal nodes, a fresh context must
+reproduce semantically identical functions, and any mutation of the
+bytes (truncation, bit flips) must be rejected by the checksum — never
+silently produce a different BDD.  Both the numpy fast lane and the
+pure-``array`` fallback (the ``REPRO_PURE_ARRAY`` CI leg) are exercised.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archs import load_architecture
+from repro.bdd import ArtifactError, dump_nodes, inspect_artifact, load_nodes
+from repro.bdd.manager import BddManager
+from repro.expr import And, Iff, Implies, Not, Or, Var, all_assignments, eval_expr
+from repro.spec import build_functional_spec, symbolic_most_liberal
+from repro.spec.derivation import DerivationResult
+from repro.symbolic import SymbolicContext, dump_functions, load_functions
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+NUMPY_MODES = [False] + ([True] if _np is not None else [])
+
+VARIABLE_NAMES = ["a", "b", "c", "d", "e"]
+
+
+def expressions(max_leaves: int = 12):
+    """Hypothesis strategy producing random expressions over a small alphabet."""
+    leaves = st.sampled_from([Var(name) for name in VARIABLE_NAMES])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda pair: And(*pair)),
+            st.tuples(children, children).map(lambda pair: Or(*pair)),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+            st.tuples(children, children).map(lambda pair: Iff(*pair)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+@pytest.mark.parametrize("use_numpy", NUMPY_MODES)
+class TestNodeRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(expressions())
+    def test_same_manager_splice_is_pointer_equal(self, use_numpy, expr):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift(expr)
+        data = dump_nodes(
+            context.manager, roots={"f": function.node}, use_numpy=use_numpy
+        )
+        roots = load_nodes(context.manager, data, use_numpy=use_numpy)
+        assert roots["f"] == function.node
+
+    @settings(max_examples=60, deadline=None)
+    @given(expressions())
+    def test_fresh_manager_load_is_semantically_equal(self, use_numpy, expr):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift(expr)
+        data = dump_nodes(
+            context.manager, roots={"f": function.node}, use_numpy=use_numpy
+        )
+        manager = BddManager(VARIABLE_NAMES, use_numpy=use_numpy)
+        node = load_nodes(manager, data, use_numpy=use_numpy)["f"]
+        for assignment in all_assignments(VARIABLE_NAMES):
+            expected = eval_expr(expr, assignment)
+            if manager.support(node):
+                assert manager.evaluate(node, assignment) == expected
+            else:
+                assert manager.is_true(node) == expected
+
+    def test_terminal_roots_round_trip(self, use_numpy):
+        manager = BddManager(["x"], use_numpy=use_numpy)
+        data = dump_nodes(
+            manager,
+            roots={"t": manager.true(), "f": manager.false()},
+            use_numpy=use_numpy,
+        )
+        fresh = BddManager(use_numpy=use_numpy)
+        roots = load_nodes(fresh, data, use_numpy=use_numpy)
+        assert fresh.is_true(roots["t"]) and fresh.is_false(roots["f"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(expressions(), st.data())
+    def test_mutated_bytes_are_rejected(self, use_numpy, expr, data_strategy):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift(expr)
+        data = dump_nodes(
+            context.manager, roots={"f": function.node}, use_numpy=use_numpy
+        )
+        position = data_strategy.draw(
+            st.integers(min_value=0, max_value=len(data) - 1)
+        )
+        bit = data_strategy.draw(st.integers(min_value=0, max_value=7))
+        corrupt = bytearray(data)
+        corrupt[position] ^= 1 << bit
+        with pytest.raises(ArtifactError):
+            load_nodes(BddManager(use_numpy=use_numpy), bytes(corrupt))
+
+    def test_truncated_bytes_are_rejected(self, use_numpy):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift(Var("a") & ~Var("b") | Var("c"))
+        data = dump_nodes(
+            context.manager, roots={"f": function.node}, use_numpy=use_numpy
+        )
+        for cut in (0, 3, len(data) // 2, len(data) - 5):
+            with pytest.raises(ArtifactError):
+                load_nodes(BddManager(use_numpy=use_numpy), data[:cut])
+
+    def test_incompatible_variable_order_is_rejected(self, use_numpy):
+        context = SymbolicContext(["a", "b", "c"])
+        function = context.lift(Var("a") & Var("b") | Var("c"))
+        data = dump_nodes(
+            context.manager, roots={"f": function.node}, use_numpy=use_numpy
+        )
+        reversed_manager = BddManager(["c", "b", "a"], use_numpy=use_numpy)
+        with pytest.raises(ArtifactError):
+            load_nodes(reversed_manager, data, use_numpy=use_numpy)
+
+    def test_interleaved_target_order_still_splices(self, use_numpy):
+        context = SymbolicContext(["a", "b", "c"])
+        function = context.lift(Var("a") & Var("b") | Var("c"))
+        data = dump_nodes(
+            context.manager, roots={"f": function.node}, use_numpy=use_numpy
+        )
+        # Extra variables between the artifact's (relative order kept).
+        target = BddManager(["a", "x", "b", "y", "c"], use_numpy=use_numpy)
+        node = load_nodes(target, data, use_numpy=use_numpy)["f"]
+        for assignment in all_assignments(["a", "b", "c"]):
+            full = dict(assignment, x=False, y=True)
+            assert target.evaluate(node, full) == eval_expr(
+                Var("a") & Var("b") | Var("c"), assignment
+            )
+
+
+class TestFunctionArtifacts:
+    @settings(max_examples=40, deadline=None)
+    @given(expressions(), expressions())
+    def test_function_set_round_trip_with_covers(self, expr_f, expr_g):
+        context = SymbolicContext(VARIABLE_NAMES)
+        functions = {"f": context.lift(expr_f), "g": context.lift(expr_g)}
+        data = dump_functions(functions, include_covers=True)
+        loaded = load_functions(data)
+        assert set(loaded.functions) == {"f", "g"}
+        for name, expr in (("f", expr_f), ("g", expr_g)):
+            materialized = loaded.functions[name].to_expr()
+            for assignment in all_assignments(VARIABLE_NAMES):
+                assert eval_expr(materialized, assignment) == eval_expr(
+                    expr, assignment
+                )
+
+    def test_cover_priming_makes_to_expr_a_lookup(self):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift((Var("a") & Var("b")) | (~Var("c") & Var("d")))
+        data = dump_functions({"f": function}, include_covers=True)
+        loaded = load_functions(data)
+        primed = loaded.functions["f"]
+        assert primed.node in loaded.context._expr_cache
+        # The primed cover must itself be exact, not merely cached.
+        assert loaded.context.lift(primed.to_expr()).node == primed.node
+
+    def test_load_into_source_context_is_pointer_equal(self):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.lift(Var("a") | (Var("b") & ~Var("e")))
+        data = dump_functions({"f": function})
+        loaded = load_functions(data, context=context)
+        assert loaded.functions["f"].node == function.node
+        assert loaded.context is context
+
+    def test_scopes_and_payload_round_trip(self):
+        context = SymbolicContext(VARIABLE_NAMES)
+        function = context.function(context.lift(Var("a")).node, scope=("a", "b"))
+        data = dump_functions({"f": function}, payload={"answer": 42})
+        loaded = load_functions(data)
+        assert loaded.functions["f"].scope == ("a", "b")
+        assert loaded.payload == {"answer": 42}
+
+    def test_mixed_contexts_are_rejected(self):
+        one = SymbolicContext(VARIABLE_NAMES)
+        other = SymbolicContext(VARIABLE_NAMES)
+        with pytest.raises(ValueError):
+            dump_functions({"f": one.lift(Var("a")), "g": other.lift(Var("b"))})
+
+
+class TestDerivationArtifacts:
+    def _derivation(self, arch_name="fam-r2w1d3s1-bypass"):
+        spec = build_functional_spec(load_architecture(arch_name))
+        return spec, symbolic_most_liberal(spec)
+
+    def test_round_trip_preserves_closed_forms(self):
+        spec, derivation = self._derivation()
+        data = derivation.to_artifact_bytes(include_covers=True)
+        loaded = DerivationResult.from_artifact_bytes(spec, data)
+        assert loaded.iterations == derivation.iterations
+        assert loaded.feed_forward == derivation.feed_forward
+        assert loaded.bdd_sizes == derivation.bdd_sizes
+        for moe in spec.moe_flags():
+            assert str(loaded.moe_expression(moe)) == str(
+                derivation.moe_expression(moe)
+            )
+
+    def test_load_into_source_context_is_pointer_equal(self):
+        spec, derivation = self._derivation()
+        data = derivation.to_artifact_bytes()
+        loaded = DerivationResult.from_artifact_bytes(
+            spec, data, context=derivation.context
+        )
+        for moe in spec.moe_flags():
+            assert loaded.moe_functions[moe].node == derivation.moe_functions[moe].node
+
+    def test_wrong_spec_is_rejected(self):
+        spec, derivation = self._derivation()
+        other_spec, _ = self._derivation("fam-r2w1d4s1-bypass")
+        data = derivation.to_artifact_bytes()
+        with pytest.raises(ArtifactError):
+            DerivationResult.from_artifact_bytes(other_spec, data)
+
+    def test_corrupt_artifact_is_rejected(self):
+        spec, derivation = self._derivation()
+        data = derivation.to_artifact_bytes()
+        with pytest.raises(ArtifactError):
+            DerivationResult.from_artifact_bytes(spec, data[:-5])
+
+    def test_expression_backed_results_cannot_serialize(self):
+        spec, _ = self._derivation()
+        expr_backed = symbolic_most_liberal(spec, backend="expr")
+        with pytest.raises(ValueError):
+            expr_backed.to_artifact_bytes()
+
+    def test_inspect_summarizes_without_splicing(self):
+        spec, derivation = self._derivation()
+        summary = inspect_artifact(derivation.to_artifact_bytes(include_covers=True))
+        assert summary["payload"]["spec"] == spec.name
+        assert summary["payload"]["kind"] == "derivation"
+        assert summary["roots"] == sorted(spec.moe_flags())
+        assert summary["has_covers"] is True
+        assert summary["num_nodes"] > 0

@@ -6,13 +6,17 @@ import json
 import pytest
 
 from repro.campaign import (
+    CANONICAL_STAGES,
     CampaignSpec,
     CampaignSpecError,
     JobSpec,
     ResultStore,
+    StoreStats,
+    clear_warm_state,
     family_sweep,
     run_campaign,
     run_verification_job,
+    shutdown_warm_pool,
 )
 from repro.campaign.runner import JobResult, StageResult
 from repro.cli import main as cli_main
@@ -167,6 +171,7 @@ def small_campaign(workers=1, **job_overrides):
         workers=workers,
         workload_length=params["workload_length"],
         max_faults=params["max_faults"],
+        workload_seed=params.get("workload_seed", 0),
     )
 
 
@@ -227,6 +232,208 @@ class TestOrchestrator:
         text = report.describe()
         assert "test-campaign" in text
         assert "fam-r2w2d3s1-blocking" in text
+
+
+class TestStoreStats:
+    def test_diff_add_round_trip(self):
+        a = StoreStats(hits=3, misses=1, stage_hits=4)
+        b = StoreStats(hits=5, misses=2, stage_hits=4, corrupt=1)
+        delta = b.diff(a)
+        assert delta == StoreStats(hits=2, misses=1, corrupt=1)
+        a.add(delta)
+        assert a == b
+        assert StoreStats.from_dict(b.as_dict()) == b
+
+    def test_job_lookups_are_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = tiny_job(stages=("properties",))
+        assert store.get(job) is None
+        store.put(job, run_verification_job(job))
+        assert store.get(job) is not None
+        store.path_for(job).write_text("{not json", encoding="utf-8")
+        assert store.get(job) is None
+        assert store.stats.hits == 1
+        assert store.stats.misses == 2
+        assert store.stats.corrupt == 1
+
+    def test_artifact_and_stage_lookups_are_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_artifact("deadbeef") is None
+        store.put_artifact("deadbeef", b"RBDD-not-checked-here")
+        assert store.get_artifact("deadbeef") == b"RBDD-not-checked-here"
+        assert store.get_stage("derive", "cafe") is None
+        store.put_stage("cafe", StageResult(name="derive", ok=True, seconds=0.1))
+        assert store.get_stage("derive", "cafe") is not None
+        # A stored stage answered under the wrong stage name is corrupt.
+        assert store.get_stage("faults", "cafe") is None
+        s = store.stats
+        assert (s.artifact_hits, s.artifact_misses) == (1, 1)
+        assert (s.stage_hits, s.stage_misses) == (1, 2)
+        assert s.corrupt == 1
+
+    def test_stage_files_do_not_pollute_job_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_stage("cafe", StageResult(name="derive", ok=True, seconds=0.1))
+        store.put_artifact("deadbeef", b"x")
+        assert len(store) == 0
+        assert store.stage_keys() == ["cafe"]
+        assert store.artifact_keys() == ["deadbeef"]
+        assert store.clear() == 2
+        assert store.stage_keys() == [] and store.artifact_keys() == []
+
+
+class TestIncremental:
+    def test_stage_keys_follow_dependencies(self):
+        base = tiny_job()
+        seeded = tiny_job(workload_seed=9)
+        for stage in ("properties", "derive", "maximality", "obligations"):
+            assert base.stage_key(stage) == seeded.stage_key(stage)
+        for stage in ("faults", "analysis"):
+            assert base.stage_key(stage) != seeded.stage_key(stage)
+        other_arch = tiny_job(arch="fam-r2w1d4s1-bypass")
+        for stage in CANONICAL_STAGES:
+            assert base.stage_key(stage) != other_arch.stage_key(stage)
+        with pytest.raises(CampaignSpecError):
+            base.stage_key("transmogrify")
+
+    def test_campaign_populates_artifacts_and_stage_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = run_campaign(small_campaign(workers=1), store=store)
+        assert report.all_ok()
+        # One derivation artifact per architecture, one stage file per
+        # distinct (stage, dependency-hash) pair.
+        assert len(store.artifact_keys()) == 4
+        assert len(store.stage_keys()) == 4 * len(CANONICAL_STAGES)
+        assert report.store_stats is not None
+        assert report.store_stats.misses == 4  # job-level cold misses
+        assert report.cache_misses() > 0 and report.cache_corrupt() == 0
+
+    def test_warm_state_serves_derivation(self):
+        clear_warm_state()
+        job = tiny_job(stages=("derive",))
+        first = run_verification_job(job)
+        assert first.stage("derive").details["source"] == "computed"
+        second = run_verification_job(job)
+        assert second.stage("derive").details["source"] == "warm"
+
+    def test_artifact_serves_derivation_across_cold_starts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = tiny_job(stages=("derive", "maximality"))
+        clear_warm_state()
+        first = run_verification_job(job, store=store)
+        assert first.stage("derive").details["source"] == "computed"
+        clear_warm_state()  # simulate a fresh worker process
+        second = run_verification_job(job, store=store)
+        assert second.ok
+        assert second.stage("derive").details["source"] == "artifact"
+
+    def test_corrupt_artifact_is_counted_and_rebuilt(self, tmp_path):
+        from repro.bdd import inspect_artifact
+
+        store = ResultStore(tmp_path)
+        job = tiny_job(stages=("derive",))
+        clear_warm_state()
+        run_verification_job(job, store=store)
+        key = job.stage_key("derive")
+        good = store.artifact_path(key).read_bytes()
+        store.artifact_path(key).write_bytes(good[:-7] + b"garbage")
+        clear_warm_state()
+        before = store.stats.copy()
+        result = run_verification_job(job, store=store)
+        assert result.ok
+        assert result.stage("derive").details["source"] == "computed"
+        assert store.stats.diff(before).corrupt == 1
+        # The bad file was dropped and replaced by a valid artifact.
+        inspect_artifact(store.artifact_path(key).read_bytes())
+
+    def test_seed_change_reruns_only_workload_stages(self, tmp_path):
+        store = ResultStore(tmp_path)
+        clear_warm_state()
+        cold = run_campaign(small_campaign(workers=1), store=store)
+        assert cold.all_ok()
+        clear_warm_state()  # reuse must come from the store, not warmth
+        report = run_campaign(
+            small_campaign(workers=1, workload_seed=9), store=store, incremental=True
+        )
+        assert report.all_ok()
+        assert not report.cached()  # every job key changed with the seed
+        for result in report.results:
+            replayed = [
+                s.name for s in result.stages if s.details.get("from_store")
+            ]
+            executed = [
+                s.name for s in result.stages if not s.details.get("from_store")
+            ]
+            assert replayed == ["properties", "derive", "maximality", "obligations"]
+            assert executed == ["faults", "analysis"]
+        stats = report.store_stats
+        assert stats.stage_hits == 4 * 4
+        assert stats.stage_misses == 2 * 4
+        assert stats.artifact_hits == 4  # analysis reloaded each derivation
+
+    def test_family_edit_reruns_only_affected_jobs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = family_sweep(
+            name="base", registers=(2,), widths=(1,), depths=(3,),
+            styles=("bypass", "blocking"), workers=1, **TINY,
+        )
+        assert run_campaign(base, store=store).all_ok()
+        widened = family_sweep(
+            name="widened", registers=(2,), widths=(1,), depths=(3, 4),
+            styles=("bypass", "blocking"), workers=1, **TINY,
+        )
+        report = run_campaign(widened, store=store, incremental=True)
+        assert report.all_ok()
+        cached = {r.job.arch for r in report.results if r.cached}
+        fresh = {r.job.arch for r in report.results if not r.cached}
+        assert cached == {"fam-r2w1d3s1-bypass", "fam-r2w1d3s1-blocking"}
+        assert fresh == {"fam-r2w1d4s1-bypass", "fam-r2w1d4s1-blocking"}
+
+    def test_incremental_without_store_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(small_campaign(workers=1), store=None, incremental=True)
+
+
+class TestWarmPool:
+    def test_persistent_pool_is_reused_across_campaigns(self, tmp_path):
+        from repro.campaign import orchestrator
+
+        shutdown_warm_pool()
+        spec = small_campaign(workers=2)
+        run_campaign(spec, store=None, use_cache=False)
+        pool = orchestrator._WARM_POOL
+        assert pool is not None
+        run_campaign(spec, store=None, use_cache=False)
+        assert orchestrator._WARM_POOL is pool
+        shutdown_warm_pool()
+        assert orchestrator._WARM_POOL is None
+
+    def test_worker_store_stats_are_aggregated(self, tmp_path):
+        # Fresh pool AND no inherited warmth: forked workers copy the
+        # parent's warm state, which would satisfy the derivation without
+        # touching the store.
+        shutdown_warm_pool()
+        clear_warm_state()
+        store = ResultStore(tmp_path)
+        report = run_campaign(small_campaign(workers=2), store=store)
+        assert report.all_ok()
+        stats = report.store_stats
+        # The workers wrote 4 artifacts (one per arch) and reported the
+        # misses home; the parent only saw the job-level misses.
+        assert stats.misses == 4
+        assert stats.artifact_misses == 4
+        # Persisted results must not leak run-specific counters.
+        assert all(r.store_stats is None for r in report.results)
+        shutdown_warm_pool()
+
+    def test_on_result_streams_every_job(self, tmp_path):
+        seen = []
+        report = run_campaign(
+            small_campaign(workers=1),
+            store=ResultStore(tmp_path),
+            on_result=lambda result: seen.append(result.job.arch),
+        )
+        assert sorted(seen) == sorted(r.job.arch for r in report.results)
 
 
 def run_cli(*argv):
@@ -305,6 +512,59 @@ class TestCampaignCli:
     def test_unknown_arch_is_a_clean_cli_error(self):
         code, _ = run_cli("show-arch", "--arch", "fam-unparseable")
         assert code == 2
+
+    def test_incremental_requires_store(self):
+        code, _ = run_cli(
+            "campaign", "--registers", "2", "--widths", "1", "--depths", "3",
+            "--styles", "bypass", "--store", "", "--incremental", "--workers", "1",
+        )
+        assert code == 2
+
+    def test_incremental_sweep_and_cache_tally(self, tmp_path):
+        store = str(tmp_path / "store")
+        base = (
+            "campaign", "--registers", "2", "--widths", "1", "--depths", "3",
+            "--styles", "bypass", "--workers", "1",
+            "--length", "24", "--max-faults", "1", "--store", store,
+        )
+        code, output = run_cli(*base)
+        assert code == 0
+        assert "store:" in output  # the cache tally is surfaced
+        clear_warm_state()
+        code, output = run_cli(*base, "--seed", "9", "--incremental")
+        assert code == 0
+        assert "stages 4/6 hit" in output
+
+    def test_artifact_verb_lists_and_inspects(self, tmp_path):
+        store = str(tmp_path / "store")
+        code, _ = run_cli(
+            "campaign", "--registers", "2", "--widths", "1", "--depths", "3",
+            "--styles", "bypass", "--workers", "1",
+            "--length", "24", "--max-faults", "1", "--store", store,
+        )
+        assert code == 0
+        code, output = run_cli("artifact", "--store", store)
+        assert code == 0
+        assert "fam-r2w1d3s1-bypass" in output
+        assert "+covers" in output
+        artifact_file = next(
+            str(p) for p in __import__("pathlib").Path(store).glob("artifact-*.bdd")
+        )
+        code, output = run_cli("artifact", "--file", artifact_file)
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["payload"]["kind"] == "derivation"
+
+    def test_artifact_verb_clean_errors(self, tmp_path):
+        code, _ = run_cli("artifact", "--store", str(tmp_path / "nope"))
+        assert code == 2
+        bad = tmp_path / "bad.bdd"
+        bad.write_bytes(b"not an artifact")
+        code, _ = run_cli("artifact", "--file", str(bad))
+        assert code == 2
+        code, output = run_cli("artifact", "--store", str(tmp_path))
+        assert code == 0
+        assert "no artifacts" in output
 
 
 def test_stage_result_round_trip():
