@@ -1,0 +1,95 @@
+"""Drive the verification service programmatically: submit, stream, reuse.
+
+A complete client session against a ``repro serve`` daemon:
+
+1. connect (or, when nothing is listening, self-host a daemon on a
+   background thread — handy for notebooks and this script's smoke test),
+2. submit one architecture and follow its event stream live,
+3. submit a two-architecture campaign at a higher priority,
+4. resubmit the finished work and watch it answer from the shared result
+   store in milliseconds,
+5. read the store's telemetry.
+
+Run with ``python examples/service_client.py`` — against your own daemon
+by exporting ``REPRO_SERVICE_PORT`` (see ``docs/operations.md``), or
+standalone with no setup at all.
+"""
+
+import os
+import tempfile
+import time
+
+from repro.campaign import CampaignSpec, JobSpec
+from repro.service import ServiceClient, ServiceError, start_service
+
+
+def run_session(client: ServiceClient, arch: str, stages: str) -> None:
+    print(f"service: repro {client.health()['version']} "
+          f"at {client.host}:{client.port}")
+
+    # -- 2. one architecture, followed live ---------------------------------------
+    submitted = client.submit(arch=arch, stages=stages)
+    job = submitted["job"]
+    print(f"submitted {job['id']} ({arch}), state={job['state']}")
+
+    def narrate(event):
+        if event["kind"] == "result":
+            verdict = "ok" if event["ok"] else "FAIL"
+            print(f"  [{event['arch']}] {verdict} in {event['seconds']:.3f}s")
+        elif event["kind"] == "state":
+            print(f"  -> {event['state']}")
+
+    final = client.wait(job["id"], timeout=600, on_event=narrate)
+    assert final["state"] == "done", final
+    print(f"verdict: ok={final['ok']}, "
+          f"{final['report']['passed']}/{final['report']['total']} passed")
+
+    # -- 3. a campaign, submitted as a spec object --------------------------------
+    campaign = CampaignSpec(
+        name="example-pair",
+        jobs=(
+            JobSpec(arch=arch, stages=_stage_tuple(stages)),
+            JobSpec(arch=arch, stages=_stage_tuple(stages), workload_seed=1),
+        ),
+    )
+    pair = client.submit(campaign=campaign.to_dict(), priority=5)
+    pair_final = client.wait(pair["job"]["id"], timeout=600)
+    print(f"campaign {pair_final['id']}: ok={pair_final['ok']} "
+          f"({pair_final['report']['total']} jobs)")
+
+    # -- 4. the warm-cache fast path ----------------------------------------------
+    start = time.monotonic()
+    again = client.submit(arch=arch, stages=stages)["job"]
+    elapsed_ms = (time.monotonic() - start) * 1000
+    assert again["state"] == "done" and again["from_cache"], again
+    print(f"resubmission answered from the store in {elapsed_ms:.1f} ms")
+
+    # -- 5. store telemetry -------------------------------------------------------
+    store = client.store()["store"]
+    if store is not None:
+        print(f"store: {store['entries']} entries, "
+              f"{store['stats']['hits']} hits / {store['stats']['misses']} misses")
+
+
+def _stage_tuple(stages: str):
+    return tuple(part.strip() for part in stages.split(",") if part.strip())
+
+
+def main(arch: str = "fam-r4w2d5s1-bypass",
+         stages: str = "properties,derive,maximality") -> None:
+    port = int(os.environ.get("REPRO_SERVICE_PORT", "8765"))
+    client = ServiceClient(port=port)
+    try:
+        client.health()
+    except ServiceError:
+        # No daemon listening: self-host one for the duration of the session.
+        print(f"no daemon on port {port}; self-hosting one on a background thread")
+        with tempfile.TemporaryDirectory() as tmp:
+            with start_service(store_root=tmp, workers=1) as handle:
+                run_session(handle.client(), arch, stages)
+        return
+    run_session(client, arch, stages)
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,30 @@ fi
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== pydoc render smoke (public API docstrings) =="
+# pydoc's CLI exit codes are unreliable across versions; render in-process
+# so a module that fails to import or document fails the gate loudly.
+python - <<'EOF'
+import pydoc
+
+MODULES = [
+    "repro.campaign",
+    "repro.campaign.orchestrator",
+    "repro.campaign.spec",
+    "repro.campaign.store",
+    "repro.service",
+    "repro.service.client",
+    "repro.service.daemon",
+]
+for name in MODULES:
+    text = pydoc.render_doc(name, renderer=pydoc.plaintext)
+    assert len(text) > 200, f"suspiciously thin pydoc for {name}"
+print(f"pydoc renders cleanly for {len(MODULES)} modules")
+EOF
+
+echo "== docs link check =="
+python scripts/check_docs_links.py
+
 echo "== quick benchmark gate =="
 if [[ ! -f "$BASELINE" ]]; then
     echo "error: benchmark baseline $BASELINE is missing." >&2

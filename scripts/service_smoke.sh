@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the verification service over a real socket:
+# start `repro serve`, verify an architecture through the HTTP API,
+# prove the warm-cache fast path on resubmission, then SIGTERM the
+# daemon and require a clean graceful exit.
+#
+#   scripts/service_smoke.sh [port]
+#
+# Uses only the repo and the Python stdlib; safe to run locally (state
+# goes to a temp directory that is removed on exit).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+PORT="${1:-8791}"
+ARCH="fam-r4w2d5s1-bypass"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== starting repro serve on port $PORT =="
+python -m repro serve --port "$PORT" --store "$WORKDIR/store" --workers 1 \
+    >"$WORKDIR/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+    if python -m repro jobs --port "$PORT" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "error: daemon exited during startup" >&2
+        cat "$WORKDIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+python -m repro jobs --port "$PORT" >/dev/null  # fail loudly if still down
+
+echo "== submit + follow: $ARCH =="
+python -m repro submit --port "$PORT" --arch "$ARCH" \
+    --stages properties,derive --timeout 300
+
+echo "== resubmit must answer from the warm cache =="
+python - "$PORT" "$ARCH" <<'EOF'
+import sys, time
+from repro.service import ServiceClient
+
+port, arch = int(sys.argv[1]), sys.argv[2]
+client = ServiceClient(port=port)
+start = time.monotonic()
+job = client.submit(arch=arch, stages="properties,derive")["job"]
+elapsed = time.monotonic() - start
+assert job["state"] == "done" and job["ok"], job
+assert job["from_cache"], "resubmission was not served from the cache"
+# The acceptance bar is 100 ms; allow slack for loaded CI runners.
+assert elapsed < 2.0, f"cached submission took {elapsed:.3f}s"
+stats = client.store()["store"]["stats"]
+assert stats["hits"] >= 1, stats
+print(f"cached resubmission answered in {elapsed * 1000:.1f} ms "
+      f"(store hits: {stats['hits']})")
+EOF
+
+echo "== graceful shutdown on SIGTERM =="
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+    echo "error: daemon did not exit cleanly" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+SERVER_PID=""
+grep -q "service stopped" "$WORKDIR/serve.log"
+
+echo "service smoke: OK"

@@ -19,10 +19,29 @@ campaigns and stall/coverage analysis — into a batch engine:
 * :mod:`repro.campaign.report` — pass/fail/timing aggregation rendered
   through :mod:`repro.analysis`.
 
-Exposed on the command line as ``python -m repro campaign``.
+Exposed on the command line as ``python -m repro campaign``, and as a
+long-running HTTP service by :mod:`repro.service` (``python -m repro
+serve``), which shares one :class:`ResultStore` and the warm worker pool
+across all clients.
+
+Quickstart::
+
+    from repro.campaign import ResultStore, family_sweep, run_campaign
+
+    spec = family_sweep(registers=(2,), widths=(1,), depths=(3,))
+    report = run_campaign(spec, store=ResultStore(".campaign-results"))
+    print(report.describe())      # per-stage pass rates, cache tally
+
+The incremental-campaign contract lives in
+:data:`~repro.campaign.spec.STAGE_DEPENDENCIES`: each stage's store key
+hashes only the :class:`JobSpec` fields that stage reads, so editing a
+workload knob re-runs only the stages that depend on it.  See
+``docs/architecture.md`` for the layer map and ``help(run_campaign)``
+for the orchestration knobs (streaming ``on_result``, cooperative
+``should_stop`` cancellation, ``incremental`` stage replay).
 """
 
-from .orchestrator import run_campaign, shutdown_warm_pool
+from .orchestrator import CampaignCancelled, run_campaign, shutdown_warm_pool
 from .report import CampaignReport
 from .runner import (
     CANONICAL_STAGES,
@@ -41,6 +60,7 @@ from .spec import (
 from .store import ResultStore, StoreStats
 
 __all__ = [
+    "CampaignCancelled",
     "CampaignReport",
     "CampaignSpec",
     "CampaignSpecError",

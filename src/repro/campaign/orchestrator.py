@@ -40,6 +40,23 @@ from .store import ResultStore, StoreStats
 
 ProgressFn = Callable[[str], None]
 ResultFn = Callable[[JobResult], None]
+StopFn = Callable[[], bool]
+
+#: How often (seconds) the pool-streaming loop re-checks ``should_stop``
+#: while no result is ready.  Bounds cancellation latency for callers
+#: like the service daemon without busy-waiting.
+_STOP_POLL_SECONDS = 0.2
+
+
+class CampaignCancelled(RuntimeError):
+    """Raised by :func:`run_campaign` when ``should_stop`` turned true.
+
+    Cancellation is cooperative and job-granular: jobs already handed to
+    a worker run to completion (killing a worker mid-job would poison
+    the warm pool), jobs not yet started are never dispatched.  Results
+    consumed before the stop — including everything ``on_result`` saw —
+    remain in the store; only the aggregate report is lost.
+    """
 
 #: Worker-side cache of store handles by root path, so one worker process
 #: reuses a single ResultStore (and its running stats) across all jobs.
@@ -124,6 +141,7 @@ def _run_pool(
     store_root: Optional[str],
     incremental: bool,
     consume: Callable[[int, JobResult], None],
+    should_stop: Optional[StopFn] = None,
 ) -> None:
     """Stream jobs through the persistent pool, consuming results as they land."""
     pool = _warm_pool(workers)
@@ -137,7 +155,23 @@ def _run_pool(
     }
     outstanding = set(future_index)
     while outstanding:
-        done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+        if should_stop is not None and should_stop():
+            # Drain, don't kill: unstarted futures are revoked, but jobs
+            # a worker already picked up run to completion so the warm
+            # pool stays healthy (their results still land in the store).
+            for future in outstanding:
+                future.cancel()
+            running = [f for f in outstanding if not f.cancelled()]
+            if running:
+                wait(running)
+            raise CampaignCancelled(
+                f"campaign cancelled with {len(outstanding)} jobs undone"
+            )
+        done, outstanding = wait(
+            outstanding,
+            return_when=FIRST_COMPLETED,
+            timeout=None if should_stop is None else _STOP_POLL_SECONDS,
+        )
         for future in done:
             index = future_index[future]
             try:
@@ -172,8 +206,13 @@ def run_campaign(
     workers: Optional[int] = None,
     incremental: bool = False,
     on_result: Optional[ResultFn] = None,
+    should_stop: Optional[StopFn] = None,
 ) -> CampaignReport:
     """Run a whole campaign and aggregate the per-job outcomes.
+
+    This is the batch engine's single public entry point: everything the
+    CLI (``repro campaign``) and the service daemon (``repro serve``) do
+    funnels through here.
 
     Args:
         spec: the declarative campaign to run.
@@ -190,10 +229,40 @@ def run_campaign(
         on_result: streaming callback invoked once per job *as results
             arrive* (cached jobs first, then fresh ones in completion
             order) — unlike the returned report, which is in job order.
+        should_stop: polled between jobs (and every few hundred
+            milliseconds while waiting on the pool); when it returns
+            True the campaign raises :class:`CampaignCancelled` after
+            draining already-dispatched jobs.  This is the cooperative
+            cancellation hook the async service layer drives from a
+            ``threading.Event``.
 
     Job failures — verification failures and crashed workers alike — are
     captured in the per-job results; this function only raises for
-    orchestration-level errors.
+    orchestration-level errors (and :class:`CampaignCancelled`).
+
+    Example — a two-architecture campaign with streaming results and a
+    shared store::
+
+        from repro.campaign import (
+            CampaignSpec, JobSpec, ResultStore, run_campaign,
+        )
+
+        spec = CampaignSpec(
+            name="demo",
+            jobs=(
+                JobSpec(arch="fam-r2w1d3s1-bypass"),
+                JobSpec(arch="fam-r2w1d3s1-blocking"),
+            ),
+            workers=2,
+        )
+        store = ResultStore(".campaign-results")
+        report = run_campaign(
+            spec, store=store,
+            on_result=lambda r: print(r.job.arch, "ok" if r.ok else "FAIL"),
+        )
+        assert report.all_ok()
+        # A second identical run answers from the store in milliseconds:
+        assert run_campaign(spec, store=store).cached()
     """
     if incremental and store is None:
         raise ValueError("incremental campaigns need a result store")
@@ -240,9 +309,14 @@ def run_campaign(
                 store_root=None if store is None else str(store.root),
                 incremental=incremental,
                 consume=lambda i, result: finish(pending[i], result, fresh=True),
+                should_stop=should_stop,
             )
         else:
-            for index in pending:
+            for position, index in enumerate(pending):
+                if should_stop is not None and should_stop():
+                    raise CampaignCancelled(
+                        f"campaign cancelled with {len(pending) - position} jobs undone"
+                    )
                 job = spec.jobs[index]
                 result = run_verification_job(
                     job, store=store, incremental=incremental

@@ -41,6 +41,16 @@ CANONICAL_STAGES: Tuple[str, ...] = (
 #: ``arch`` because canonical family names (``fam-r2w1d3s1-bypass``)
 #: encode the full structural configuration; hashing the name is hashing
 #: the structure.
+#:
+#: Example — reseeding shares every structural stage key::
+#:
+#:     a = JobSpec(arch="fam-r2w1d3s1-bypass", workload_seed=0)
+#:     b = JobSpec(arch="fam-r2w1d3s1-bypass", workload_seed=1)
+#:     assert a.stage_key("derive") == b.stage_key("derive")    # reused
+#:     assert a.stage_key("analysis") != b.stage_key("analysis")  # re-run
+#:
+#: Adding a stage means adding its field tuple here *and* bumping
+#: ``SPEC_SCHEMA`` if the semantics of existing stages changed.
 STAGE_DEPENDENCIES: Dict[str, Tuple[str, ...]] = {
     "properties": ("arch",),
     "derive": ("arch",),
@@ -210,6 +220,22 @@ class CampaignSpec:
             )
         except KeyError as exc:
             raise CampaignSpecError(f"campaign spec missing field {exc}") from exc
+
+    def campaign_key(self) -> str:
+        """Content hash identifying this campaign's *work*, not its sharding.
+
+        Covers the schema version and every job (in order) but not the
+        worker count or campaign name, so two submissions asking for the
+        same verification work coalesce to one key even if they disagree
+        about parallelism or labelling.  The service daemon uses this to
+        deduplicate concurrent identical submissions onto one running job.
+        """
+        canonical = json.dumps(
+            {"schema": SPEC_SCHEMA, "jobs": [job.to_dict() for job in self.jobs]},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def dumps(self) -> str:
         """Serialize to pretty-printed JSON."""

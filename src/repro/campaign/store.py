@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -88,12 +89,36 @@ class StoreStats:
 
 
 class ResultStore:
-    """Directory of content-addressed results, stages and BDD artifacts."""
+    """Directory of content-addressed results, stages and BDD artifacts.
+
+    Concurrency: writes are atomic (``mkstemp`` + ``os.replace``) and
+    entries are immutable once written, so any number of processes and
+    threads may read while others write — a reader sees either the
+    complete entry or a miss, never a torn file.  The in-memory
+    :class:`StoreStats` tally is guarded by a lock so one handle can be
+    shared across threads (the service daemon's probe/runner threads do
+    exactly that); separate *handles* on the same directory keep separate
+    tallies, which is why workers ship their deltas home explicitly.
+
+    Example — the cache as seen by a campaign::
+
+        from repro.campaign import JobSpec, ResultStore, run_verification_job
+
+        store = ResultStore(".campaign-results")
+        job = JobSpec(arch="fam-r2w1d3s1-bypass")
+        if store.get(job) is None:            # miss: verify and persist
+            store.put(job, run_verification_job(job, store=store))
+        assert store.get(job).ok              # hit: served from disk
+        print(store.summary())                # entry counts + hit/miss tally
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
+        #: Guards ``stats`` mutations; file operations need no lock (see
+        #: the class docstring's concurrency contract).
+        self._stats_lock = threading.Lock()
 
     # -- whole-job results -------------------------------------------------------
 
@@ -109,24 +134,28 @@ class ResultStore:
         """
         path = self.path_for(job)
         if not path.exists():
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             result = JobResult.from_dict(payload)
         except (OSError, ValueError, KeyError, TypeError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
             return None
         # Hash collisions aside, the stored job must equal the requested
         # one; a mismatch means the file was tampered with or the hashing
         # scheme changed, and either way the cache must not answer.
         if result.job.to_dict() != job.to_dict():
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
         return result
 
     def put(self, job: JobSpec, result: JobResult) -> Path:
@@ -153,9 +182,11 @@ class ResultStore:
         try:
             data = path.read_bytes()
         except OSError:
-            self.stats.artifact_misses += 1
+            with self._stats_lock:
+                self.stats.artifact_misses += 1
             return None
-        self.stats.artifact_hits += 1
+        with self._stats_lock:
+            self.stats.artifact_hits += 1
         return data
 
     def put_artifact(self, key: str, data: bytes) -> Path:
@@ -182,9 +213,10 @@ class ResultStore:
         Converts the optimistic hit into a corrupt miss and deletes the
         bad file so the next run rebuilds it cleanly.
         """
-        self.stats.artifact_hits = max(0, self.stats.artifact_hits - 1)
-        self.stats.artifact_misses += 1
-        self.stats.corrupt += 1
+        with self._stats_lock:
+            self.stats.artifact_hits = max(0, self.stats.artifact_hits - 1)
+            self.stats.artifact_misses += 1
+            self.stats.corrupt += 1
         try:
             self.artifact_path(key).unlink()
         except OSError:
@@ -207,21 +239,25 @@ class ResultStore:
         """A cached stage result, or None when absent/corrupt/mismatched."""
         path = self.stage_path(key)
         if not path.exists():
-            self.stats.stage_misses += 1
+            with self._stats_lock:
+                self.stats.stage_misses += 1
             return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             result = StageResult.from_dict(payload)
         except (OSError, ValueError, KeyError, TypeError):
-            self.stats.corrupt += 1
-            self.stats.stage_misses += 1
+            with self._stats_lock:
+                self.stats.corrupt += 1
+                self.stats.stage_misses += 1
             return None
         if result.name != stage:
-            self.stats.corrupt += 1
-            self.stats.stage_misses += 1
+            with self._stats_lock:
+                self.stats.corrupt += 1
+                self.stats.stage_misses += 1
             return None
-        self.stats.stage_hits += 1
+        with self._stats_lock:
+            self.stats.stage_hits += 1
         return result
 
     def put_stage(self, key: str, result: StageResult) -> Path:
@@ -249,6 +285,29 @@ class ResultStore:
 
     def __len__(self) -> int:
         return len(self.keys())
+
+    def stats_snapshot(self) -> StoreStats:
+        """A consistent copy of the traffic tally (safe across threads)."""
+        with self._stats_lock:
+            return self.stats.copy()
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready telemetry: entry counts per kind plus the traffic tally.
+
+        This is what the service daemon's ``GET /v1/store`` endpoint
+        returns; entry counts are re-globbed on every call so they
+        reflect writes made by worker processes too, while the ``stats``
+        tally covers only this handle's own traffic.
+        """
+        return {
+            "root": str(self.root),
+            "entries": {
+                "jobs": len(self.keys()),
+                "artifacts": len(self.artifact_keys()),
+                "stages": len(self.stage_keys()),
+            },
+            "stats": self.stats_snapshot().as_dict(),
+        }
 
     def clear(self) -> int:
         """Delete every stored entry of any kind; returns how many."""

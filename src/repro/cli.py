@@ -31,6 +31,14 @@ Sub-commands
                           caching (``--incremental`` replays unchanged stages)
 ``artifact``              inspect the binary BDD artifacts in a result store
                           (variable order, node counts, payload metadata)
+``serve``                 run the verification service daemon: a persistent
+                          job queue over the campaign engine with an HTTP API,
+                          shared result store and warm worker pool
+                          (see ``docs/api.md`` / ``docs/operations.md``)
+``submit``                submit a job to a running daemon and (by default)
+                          follow its event stream to completion
+``jobs``                  list/inspect/cancel the daemon's jobs, or show the
+                          shared store's telemetry
 ========================  =====================================================
 
 Every sub-command accepts either ``--arch <name>`` (a bundled architecture
@@ -374,6 +382,109 @@ def build_parser() -> argparse.ArgumentParser:
         "--file", help="inspect one artifact file in detail"
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the verification service daemon (HTTP API over the campaign engine)",
+        description="Long-running asyncio daemon: accepts derivation/verification "
+        "jobs over HTTP, streams per-job progress, shares one result store and "
+        "warm worker pool across all clients, and drains in-flight jobs on "
+        "SIGINT/SIGTERM.  API reference: docs/api.md; operations: docs/operations.md.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (default: 8765; 0 picks an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--store",
+        default=".campaign-results",
+        help="shared result-store directory; empty string disables caching "
+        "(default: .campaign-results)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes per campaign run (default: 2)",
+    )
+    serve.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="do not coalesce concurrent identical submissions onto one job",
+    )
+
+    _SERVICE_ADDRESS = "address of a running 'repro serve' daemon"
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a verification job to a running service daemon",
+        description="Submit one architecture (or a declarative campaign file) to "
+        "a 'repro serve' daemon, then follow the job's event stream and exit "
+        "with its verdict.",
+    )
+    submit_source = submit.add_mutually_exclusive_group(required=True)
+    submit_source.add_argument("--arch", help=_ARCH_HELP)
+    submit_source.add_argument(
+        "--campaign-file", help="submit a declarative campaign spec (JSON) instead"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help=_SERVICE_ADDRESS)
+    submit.add_argument("--port", type=int, default=8765, help=_SERVICE_ADDRESS)
+    submit.add_argument(
+        "--stages",
+        help="comma-separated subset of verification stages (with --arch; "
+        "default: all)",
+    )
+    submit.add_argument(
+        "--length", type=int, default=None, help="workload length (with --arch)"
+    )
+    submit.add_argument(
+        "--seed", type=int, default=None, help="workload seed (with --arch)"
+    )
+    submit.add_argument(
+        "--max-faults", type=int, default=None, help="fault budget (with --arch)"
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority; larger runs sooner (default: 0)",
+    )
+    submit.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="print the job id and return immediately instead of streaming "
+        "events until the job finishes",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up following after this many seconds (default: wait forever)",
+    )
+
+    jobs = subparsers.add_parser(
+        "jobs",
+        help="list, inspect or cancel jobs on a running service daemon",
+        description="Query a 'repro serve' daemon: the job table, one job's "
+        "full record (including its report), the shared store's telemetry, "
+        "or cancel a job.",
+    )
+    jobs.add_argument("--host", default="127.0.0.1", help=_SERVICE_ADDRESS)
+    jobs.add_argument("--port", type=int, default=8765, help=_SERVICE_ADDRESS)
+    jobs.add_argument(
+        "--state",
+        choices=["queued", "running", "done", "failed", "cancelled"],
+        help="only list jobs in this state",
+    )
+    jobs.add_argument("--id", dest="job_id", help="print one job's full record as JSON")
+    jobs.add_argument("--cancel", metavar="JOB_ID", help="cancel this job")
+    jobs.add_argument(
+        "--store-stats",
+        action="store_true",
+        help="print the shared result store's telemetry as JSON",
+    )
+
     return parser
 
 
@@ -701,6 +812,133 @@ def _cmd_artifact(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
+    from .service import serve_blocking
+
+    return serve_blocking(
+        host=args.host,
+        port=args.port,
+        store_root=args.store or None,
+        workers=args.workers,
+        dedup=not args.no_dedup,
+        out=out,
+    )
+
+
+def _format_event(event: dict) -> Optional[str]:
+    kind = event.get("kind")
+    if kind == "state":
+        extras = ""
+        if event.get("state") == "done":
+            extras = f"  ({event.get('passed')}/{event.get('total')} passed)"
+        return f"state: {event.get('state')}{extras}"
+    if kind == "progress":
+        # The orchestrator's free-text lines repeat what the structured
+        # "result" events already carry; skip them in CLI output.
+        return None
+    if kind == "result":
+        status = "ok" if event.get("ok") else "FAIL"
+        cached = " (cached)" if event.get("cached") else ""
+        return f"[{event.get('arch')}] {status} in {event.get('seconds'):.3f}s{cached}"
+    return str(event)
+
+
+def _cmd_submit(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.campaign_file:
+            with open(args.campaign_file, "r", encoding="utf-8") as handle:
+                campaign = json.load(handle)
+            submitted = client.submit(campaign=campaign, priority=args.priority)
+        else:
+            knobs = {
+                name: value
+                for name, value in (
+                    ("workload_length", args.length),
+                    ("workload_seed", args.seed),
+                    ("max_faults", args.max_faults),
+                )
+                if value is not None
+            }
+            submitted = client.submit(
+                arch=args.arch,
+                stages=args.stages or None,
+                priority=args.priority,
+                **knobs,
+            )
+    except ServiceError as exc:
+        raise CliError(str(exc)) from exc
+    job = submitted["job"]
+    coalesced = " (coalesced onto an identical in-flight job)" if submitted[
+        "coalesced"
+    ] else ""
+    out.write(f"{job['id']}  state={job['state']}{coalesced}\n")
+    if args.no_follow:
+        return 0
+    try:
+        def show(event: dict) -> None:
+            line = _format_event(event)
+            if line is not None:
+                out.write(line + "\n")
+
+        final = client.wait(job["id"], timeout=args.timeout, on_event=show)
+    except (ServiceError, TimeoutError) as exc:
+        raise CliError(str(exc)) from exc
+    if final["state"] == "done":
+        return 0 if final["ok"] else 1
+    out.write(f"job ended {final['state']}\n")
+    if final.get("error"):
+        out.write(final["error"] + "\n")
+    return 1
+
+
+def _cmd_jobs(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from .analysis import render_table
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.cancel:
+            outcome = client.cancel(args.cancel)
+            verdict = "cancelled" if outcome["cancelled"] else "already finished"
+            out.write(f"{outcome['job']['id']}: {verdict}\n")
+            return 0
+        if args.job_id:
+            json.dump(client.job(args.job_id), out, indent=2, sort_keys=True)
+            out.write("\n")
+            return 0
+        if args.store_stats:
+            json.dump(client.store(), out, indent=2, sort_keys=True)
+            out.write("\n")
+            return 0
+        records = client.jobs(state=args.state)
+    except ServiceError as exc:
+        raise CliError(str(exc)) from exc
+    if not records:
+        out.write("no jobs\n")
+        return 0
+    rows = [
+        {
+            "id": record["id"],
+            "state": record["state"],
+            "ok": "-" if record["ok"] is None else ("yes" if record["ok"] else "NO"),
+            "campaign": record["campaign"],
+            "jobs": str(record["jobs"]),
+            "prio": str(record["priority"]),
+            "cached": "yes" if record["from_cache"] else "-",
+        }
+        for record in records
+    ]
+    out.write(render_table(rows) + "\n")
+    return 0
+
+
 _COMMANDS = {
     "list-archs": _cmd_list_archs,
     "show-arch": _cmd_show_arch,
@@ -714,6 +952,9 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,
     "artifact": _cmd_artifact,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 

@@ -1,0 +1,59 @@
+"""Verification-as-a-service: a long-running daemon over the campaign engine.
+
+Where ``repro campaign`` is one-shot — spawn a pool, run the grid, exit —
+this package keeps the engine resident and shares it between many
+concurrent clients over a small HTTP API (``repro serve``):
+
+* :mod:`repro.service.daemon` — the asyncio core: a prioritized job
+  queue feeding :func:`repro.campaign.run_campaign` through a runner
+  executor, per-job event logs, submission-time cache fast path,
+  deduplication, cooperative cancellation, graceful shutdown that drains
+  in-flight jobs and tears down the warm worker pool;
+* :mod:`repro.service.jobs` — job records, lifecycle states, event log,
+  submission-payload parsing;
+* :mod:`repro.service.http` / :mod:`repro.service.api` — a stdlib-only
+  HTTP/1.1 layer (chunked NDJSON event streams) and the ``/v1`` route
+  handlers;
+* :mod:`repro.service.client` — a blocking stdlib client
+  (:class:`ServiceClient`) used by the CLI verbs and tests;
+* :mod:`repro.service.background` — foreground (``serve_blocking``) and
+  in-process background (:func:`start_service`) runners.
+
+Minimal end-to-end use::
+
+    from repro.service import start_service
+
+    with start_service(store_root=".campaign-results", workers=2) as svc:
+        client = svc.client()
+        job_id = client.submit(arch="fam-r2w1d3s1-bypass")["job"]["id"]
+        final = client.wait(job_id)
+        assert final["ok"]
+        # resubmitting now answers from the shared store in milliseconds
+        again = client.submit(arch="fam-r2w1d3s1-bypass")
+        assert again["job"]["from_cache"]
+
+The HTTP reference is ``docs/api.md``; operating the daemon (store
+layout, warm-pool lifecycle, tuning) is ``docs/operations.md``.
+"""
+
+from .background import ServiceHandle, serve_blocking, start_service
+from .client import ServiceClient, ServiceError
+from .daemon import ServiceClosing, VerificationService
+from .http import ServiceHTTPServer
+from .jobs import JobEvent, JobRecord, JobState, SubmissionError, parse_submission
+
+__all__ = [
+    "JobEvent",
+    "JobRecord",
+    "JobState",
+    "ServiceClient",
+    "ServiceClosing",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceHandle",
+    "SubmissionError",
+    "VerificationService",
+    "parse_submission",
+    "serve_blocking",
+    "start_service",
+]

@@ -1,0 +1,166 @@
+"""HTTP API of the verification service (routing + handlers).
+
+All endpoints live under ``/v1`` and speak JSON; errors share one shape,
+``{"error": {"code": ..., "message": ...}}``.  The full reference with
+request/response schemas and curl transcripts is ``docs/api.md`` — keep
+the two in sync.
+
+=======  ==============================  =======================================
+method   path                            purpose
+=======  ==============================  =======================================
+GET      ``/v1/health``                  liveness, version, queue counts
+GET      ``/v1/archs``                   architectures the service can verify
+POST     ``/v1/jobs``                    submit a job/campaign (``202``; ``200``
+                                         when answered from the cache at
+                                         submission time)
+GET      ``/v1/jobs``                    list jobs (``?state=`` filter)
+GET      ``/v1/jobs/<id>``               one job, including its final report
+GET      ``/v1/jobs/<id>/events``        NDJSON event stream (``?since=`` cursor)
+POST     ``/v1/jobs/<id>/cancel``        cooperative cancellation
+DELETE   ``/v1/jobs/<id>``               alias for cancel
+GET      ``/v1/store``                   shared result-store telemetry
+=======  ==============================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..archs import available_architectures
+from .daemon import ServiceClosing, VerificationService
+from .http import HttpError, Request, ResponseWriter
+from .jobs import JobState, SubmissionError
+
+__all__ = ["dispatch"]
+
+
+def _job_or_404(service: VerificationService, job_id: str):
+    try:
+        return service.job(job_id)
+    except KeyError:
+        raise HttpError(404, "not_found", f"no such job: {job_id}") from None
+
+
+def _method_not_allowed(method: str, path: str) -> HttpError:
+    return HttpError(
+        405, "method_not_allowed", f"{method} not supported on {path}"
+    )
+
+
+async def dispatch(
+    service: VerificationService, request: Request, responder: ResponseWriter
+) -> None:
+    """Route one request to its handler (raises HttpError for the 4xx/5xx)."""
+    parts: List[str] = [part for part in request.path.split("/") if part]
+    if not parts or parts[0] != "v1":
+        raise HttpError(404, "not_found", f"unknown path: {request.path}")
+    rest = parts[1:]
+
+    if rest == ["health"]:
+        if request.method != "GET":
+            raise _method_not_allowed(request.method, request.path)
+        await responder.send_json(200, service.health())
+        return
+
+    if rest == ["archs"]:
+        if request.method != "GET":
+            raise _method_not_allowed(request.method, request.path)
+        await responder.send_json(
+            200, {"architectures": available_architectures()}
+        )
+        return
+
+    if rest == ["store"]:
+        if request.method != "GET":
+            raise _method_not_allowed(request.method, request.path)
+        summary = await service.store_summary()
+        await responder.send_json(
+            200, {"configured": summary is not None, "store": summary}
+        )
+        return
+
+    if rest == ["jobs"]:
+        if request.method == "POST":
+            await _submit(service, request, responder)
+            return
+        if request.method == "GET":
+            state = request.query.get("state")
+            if state is not None and state not in JobState.ALL:
+                raise HttpError(
+                    400,
+                    "bad_request",
+                    f"unknown state {state!r}; expected one of {list(JobState.ALL)}",
+                )
+            await responder.send_json(
+                200,
+                {"jobs": [record.summary() for record in service.jobs(state)]},
+            )
+            return
+        raise _method_not_allowed(request.method, request.path)
+
+    if len(rest) == 2 and rest[0] == "jobs":
+        job_id = rest[1]
+        if request.method == "GET":
+            record = _job_or_404(service, job_id)
+            await responder.send_json(200, {"job": record.detail()})
+            return
+        if request.method == "DELETE":
+            await _cancel(service, job_id, responder)
+            return
+        raise _method_not_allowed(request.method, request.path)
+
+    if len(rest) == 3 and rest[0] == "jobs" and rest[2] == "cancel":
+        if request.method != "POST":
+            raise _method_not_allowed(request.method, request.path)
+        await _cancel(service, rest[1], responder)
+        return
+
+    if len(rest) == 3 and rest[0] == "jobs" and rest[2] == "events":
+        if request.method != "GET":
+            raise _method_not_allowed(request.method, request.path)
+        await _stream_events(service, request, rest[1], responder)
+        return
+
+    raise HttpError(404, "not_found", f"unknown path: {request.path}")
+
+
+async def _submit(
+    service: VerificationService, request: Request, responder: ResponseWriter
+) -> None:
+    payload = request.json()
+    try:
+        record, coalesced = await service.submit(payload)
+    except SubmissionError as exc:
+        raise HttpError(400, "bad_request", str(exc)) from exc
+    except ServiceClosing as exc:
+        raise HttpError(503, "service_unavailable", str(exc)) from exc
+    # 200 when the answer is already final (cache fast path or coalesced
+    # onto a finished job); 202 while work is still pending.
+    status = 200 if record.terminal else 202
+    await responder.send_json(
+        status, {"job": record.detail(), "coalesced": coalesced}
+    )
+
+
+async def _cancel(
+    service: VerificationService, job_id: str, responder: ResponseWriter
+) -> None:
+    record = _job_or_404(service, job_id)
+    cancelled = service.cancel(job_id)
+    await responder.send_json(
+        200, {"job": record.summary(), "cancelled": cancelled}
+    )
+
+
+async def _stream_events(
+    service: VerificationService,
+    request: Request,
+    job_id: str,
+    responder: ResponseWriter,
+) -> None:
+    _job_or_404(service, job_id)
+    since = request.int_query("since", 0)
+    await responder.start_stream(200)
+    async for event in service.stream(job_id, since=since):
+        await responder.send_event(event.as_dict())
+    await responder.end_stream()

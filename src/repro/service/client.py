@@ -1,0 +1,215 @@
+"""Blocking Python client for the verification service's HTTP API.
+
+Stdlib-only (:mod:`http.client`), one connection per call, so it works
+anywhere the daemon does — tests, scripts, CI smoke checks, the
+``repro submit``/``repro jobs`` CLI verbs.  For the wire-level reference
+see ``docs/api.md``.
+
+Example::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(port=8765)
+    submitted = client.submit(arch="fam-r4w2d5s1-bypass")
+    job = client.wait(
+        submitted["job"]["id"],
+        on_event=lambda e: print(e["kind"], e.get("line", "")),
+    )
+    assert job["state"] == "done" and job["ok"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from .jobs import JobState
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An API error response (or an unreachable/misbehaving server)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"{code} ({status}): {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Thin typed wrapper over the HTTP API.
+
+    Args:
+        host/port: where ``repro serve`` listens.
+        timeout: per-connection socket timeout in seconds.  Event streams
+            use it as an inactivity bound, so keep it comfortably above
+            the longest silent stretch of a job (one architecture's
+            derivation) rather than above whole-job runtime.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Dict[str, Any]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    0, "unreachable", f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            return self._parse(response.status, raw)
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _parse(status: int, raw: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                status, "bad_response", f"non-JSON response: {exc}"
+            ) from exc
+        if status >= 400:
+            error = payload.get("error", {}) if isinstance(payload, dict) else {}
+            raise ServiceError(
+                status,
+                error.get("code", "error"),
+                error.get("message", f"HTTP {status}"),
+            )
+        return payload
+
+    # -- one call per endpoint ---------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._request("GET", "/v1/health")
+
+    def archs(self) -> List[str]:
+        """``GET /v1/archs``."""
+        return self._request("GET", "/v1/archs")["architectures"]
+
+    def store(self) -> Dict[str, Any]:
+        """``GET /v1/store``."""
+        return self._request("GET", "/v1/store")
+
+    def submit(
+        self,
+        arch: Optional[str] = None,
+        job: Optional[Dict[str, Any]] = None,
+        campaign: Optional[Dict[str, Any]] = None,
+        stages: Optional[Any] = None,
+        priority: int = 0,
+        **knobs: int,
+    ) -> Dict[str, Any]:
+        """``POST /v1/jobs`` — returns ``{"job": {...}, "coalesced": bool}``.
+
+        Exactly one of ``arch``/``job``/``campaign`` selects the work;
+        ``stages`` and integer workload knobs (``workload_length``,
+        ``workload_seed``, ``num_programs``, ``max_faults``) only combine
+        with ``arch``.
+        """
+        payload: Dict[str, Any] = {"priority": priority, **knobs}
+        if arch is not None:
+            payload["arch"] = arch
+            if stages is not None:
+                payload["stages"] = (
+                    stages if isinstance(stages, str) else list(stages)
+                )
+        if job is not None:
+            payload["job"] = job
+        if campaign is not None:
+            payload["campaign"] = campaign
+        return self._request("POST", "/v1/jobs", payload)
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs`` (optionally filtered by lifecycle state)."""
+        path = "/v1/jobs" if state is None else f"/v1/jobs?state={state}"
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>`` — full record including the report."""
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /v1/jobs/<id>/cancel``."""
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    # -- streaming ---------------------------------------------------------------
+
+    def stream(self, job_id: str, since: int = 0) -> Iterator[Dict[str, Any]]:
+        """Iterate ``GET /v1/jobs/<id>/events`` as parsed event dicts.
+
+        The iterator ends when the job reaches a terminal state (the
+        server closes the stream); ``since`` resumes a dropped stream
+        from a known ``seq`` cursor without replaying what was seen.
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request(
+                    "GET", f"/v1/jobs/{job_id}/events?since={since}"
+                )
+                response = connection.getresponse()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    0, "unreachable", f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            if response.status >= 400:
+                self._parse(response.status, response.read())
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Follow a job to completion; returns its final full record.
+
+        Reconnects the event stream if it drops, resuming from the last
+        seen ``seq``.  Raises :class:`TimeoutError` when ``timeout``
+        (seconds, wall clock) elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while True:
+            for event in self.stream(job_id, since=cursor):
+                cursor = event["seq"] + 1
+                if on_event is not None:
+                    on_event(event)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(f"job {job_id} still running after {timeout}s")
+            record = self.job(job_id)
+            if record["state"] in JobState.TERMINAL:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still running after {timeout}s")

@@ -1,0 +1,462 @@
+"""The asyncio verification-service core.
+
+:class:`VerificationService` wraps the batch campaign engine
+(:func:`repro.campaign.run_campaign`) in a persistent prioritized job
+queue that many concurrent clients share:
+
+* **One event loop, zero blocking.**  Campaigns execute on a dedicated
+  single-thread runner executor via ``run_in_executor``; the campaign's
+  ``progress``/``on_result`` callbacks hop back onto the loop with
+  ``call_soon_threadsafe``, feeding each job's append-only event log that
+  any number of HTTP streams replay and follow concurrently.
+* **One shared cache.**  All jobs read and write the same
+  :class:`~repro.campaign.store.ResultStore`; a submission whose every
+  job is already stored is answered *at submission time* from a light
+  probe executor — milliseconds, no queueing — which is what makes hot
+  architectures cheap no matter how busy the queue is.
+* **One warm worker pool.**  The campaign layer's persistent fork pool
+  (live BDD state per worker) stays warm across jobs and clients; the
+  service's graceful shutdown drains in-flight work and then tears the
+  pool down explicitly via
+  :func:`~repro.campaign.orchestrator.shutdown_warm_pool` (the atexit
+  hook remains only as a backstop for non-service embedders).
+* **Priorities, deduplication, cancellation.**  Higher-priority
+  submissions run first (FIFO within a priority); identical concurrent
+  submissions coalesce onto one running job by campaign content hash;
+  cancellation is cooperative and job-granular via the orchestrator's
+  ``should_stop`` hook.
+
+The HTTP surface over this core lives in :mod:`repro.service.api` /
+:mod:`repro.service.http`; this module is usable directly from any
+asyncio program.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..archs import load_architecture
+from ..campaign.orchestrator import (
+    CampaignCancelled,
+    run_campaign,
+    shutdown_warm_pool,
+)
+from ..campaign.report import CampaignReport
+from ..campaign.spec import CampaignSpec
+from ..campaign.store import ResultStore
+from .jobs import JobRecord, JobState, parse_submission
+
+__all__ = ["ServiceClosing", "VerificationService"]
+
+
+class ServiceClosing(RuntimeError):
+    """Raised for submissions that arrive during shutdown (HTTP 503)."""
+
+
+def _validate_archs(spec: CampaignSpec) -> None:
+    """Resolve every architecture name so bad submissions fail fast (400).
+
+    Runs on the probe executor: resolving a family name builds the
+    architecture object, which is cheap next to verification but not
+    event-loop cheap.
+    """
+    from .jobs import SubmissionError
+
+    for job in spec.jobs:
+        try:
+            load_architecture(job.arch)
+        except Exception as exc:
+            raise SubmissionError(f"unknown architecture {job.arch!r}: {exc}") from exc
+
+
+class VerificationService:
+    """Shared async job queue over the campaign engine.
+
+    Args:
+        store: the result store every job shares, or None to disable
+            caching entirely (each job then recomputes from scratch).
+        workers: worker-process count for each campaign run; submissions
+            cannot raise it (the pool is a shared resource), their
+            spec's own ``workers`` field is ignored.
+        dedup: coalesce concurrent identical submissions (same
+            :meth:`~repro.campaign.spec.CampaignSpec.campaign_key`) onto
+            one queued/running job.
+
+    Lifecycle: ``await start()`` once from the owning event loop, then
+    any number of :meth:`submit`/:meth:`stream`/:meth:`cancel` calls,
+    then ``await close()`` exactly once.  All public methods must be
+    called from the owning loop.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        dedup: bool = True,
+    ) -> None:
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.dedup = dedup
+        self.started_at = time.time()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._active_key: Dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self._fifo = itertools.count(1)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: "Optional[asyncio.PriorityQueue[Tuple[int, int, str]]]" = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._runner: Optional[ThreadPoolExecutor] = None
+        self._probe: Optional[ThreadPoolExecutor] = None
+        self._closing = False
+        self._closed = False
+        self._current_job_id: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the scheduler."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue()
+        # One runner thread: campaigns already shard over the process
+        # pool internally, and serializing them keeps the warm pool's
+        # per-architecture state coherent.  The probe pool handles the
+        # cheap off-loop work (cache probes, arch validation, telemetry).
+        self._runner = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-runner"
+        )
+        self._probe = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-probe"
+        )
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+
+    async def close(self, drain: bool = True) -> None:
+        """Graceful shutdown: refuse new work, settle the queue, free the pool.
+
+        With ``drain`` (the default) the currently running job completes
+        and lands in the store; without it the running job is cancelled
+        cooperatively (already-dispatched architectures still finish —
+        see :class:`~repro.campaign.orchestrator.CampaignCancelled`).
+        Queued jobs are cancelled either way, then the persistent warm
+        worker pool is shut down explicitly — this is the documented
+        lifecycle owner of
+        :func:`~repro.campaign.orchestrator.shutdown_warm_pool`, which
+        otherwise only runs from its atexit backstop.
+        """
+        if self._closed:
+            return
+        self._closing = True
+        for job_id in self._order:
+            record = self._jobs[job_id]
+            if record.state == JobState.QUEUED:
+                self.cancel(job_id)
+        current = self._jobs.get(self._current_job_id or "")
+        if current is not None and not current.terminal:
+            if not drain:
+                current.cancel_event.set()
+            while not current.terminal:
+                current.changed.clear()
+                if current.terminal:
+                    break
+                await current.changed.wait()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+        assert self._loop is not None and self._probe is not None
+        await self._loop.run_in_executor(self._probe, shutdown_warm_pool)
+        if self._runner is not None:
+            self._runner.shutdown(wait=True)
+        self._probe.shutdown(wait=True)
+        self._closed = True
+
+    # -- submission --------------------------------------------------------------
+
+    async def submit(self, payload: Any) -> Tuple[JobRecord, bool]:
+        """Accept a submission; returns ``(record, coalesced)``.
+
+        Raises :class:`~repro.service.jobs.SubmissionError` for bad
+        payloads and :class:`ServiceClosing` during shutdown.  When every
+        job of the campaign is already in the store, the returned record
+        is terminal (``done``, ``from_cache``) before this coroutine
+        returns — the warm-cache fast path.
+        """
+        if self._closing:
+            raise ServiceClosing("service is shutting down; submission refused")
+        assert self._loop is not None and self._probe is not None
+        spec, priority = parse_submission(payload)
+        await self._loop.run_in_executor(self._probe, _validate_archs, spec)
+        if self.dedup:
+            existing_id = self._active_key.get(spec.campaign_key())
+            existing = self._jobs.get(existing_id or "")
+            if existing is not None and not existing.terminal:
+                return existing, True
+        record = JobRecord(
+            f"job-{next(self._ids):06d}", spec, priority, time.time()
+        )
+        self._jobs[record.id] = record
+        self._order.append(record.id)
+        self._active_key[record.key] = record.id
+        record.publish(
+            "state",
+            {
+                "state": JobState.QUEUED,
+                "campaign": spec.name,
+                "jobs": len(spec.jobs),
+                "priority": priority,
+            },
+        )
+        if self.store is not None:
+            report = await self._loop.run_in_executor(
+                self._probe, self._probe_cache, spec
+            )
+            if report is not None:
+                self._finish_cached(record, report)
+                return record, False
+        assert self._queue is not None
+        self._queue.put_nowait((-priority, next(self._fifo), record.id))
+        return record, False
+
+    def _probe_cache(self, spec: CampaignSpec) -> Optional[CampaignReport]:
+        """Serve a fully-cached campaign straight from the store (probe thread).
+
+        Returns None — falling back to the queue — unless *every* job of
+        the campaign has a valid stored result.  The existence pre-check
+        keeps fresh submissions from skewing the miss tally.
+        """
+        store = self.store
+        assert store is not None
+        if not all(store.path_for(job).exists() for job in spec.jobs):
+            return None
+        start = time.perf_counter()
+        before = store.stats_snapshot()
+        results = []
+        for job in spec.jobs:
+            result = store.get(job)
+            if result is None:  # corrupt or raced away: run it for real
+                return None
+            result.cached = True
+            results.append(result)
+        stats = store.stats_snapshot().diff(before)
+        return CampaignReport(
+            name=spec.name,
+            results=results,
+            workers=0,
+            wall_seconds=time.perf_counter() - start,
+            store_stats=stats,
+        )
+
+    def _finish_cached(self, record: JobRecord, report: CampaignReport) -> None:
+        """Terminal bookkeeping for the submission-time cache fast path."""
+        record.from_cache = True
+        for result in report.results:
+            record.publish(
+                "result",
+                {
+                    "arch": result.job.arch,
+                    "ok": result.ok,
+                    "cached": True,
+                    "seconds": round(result.seconds, 6),
+                    "failed_stages": result.failed_stages(),
+                },
+            )
+        self._finalize(record, JobState.DONE, report.as_dict(), report.all_ok(), None)
+
+    # -- queries -----------------------------------------------------------------
+
+    def job(self, job_id: str) -> JobRecord:
+        """Look up a record (KeyError when unknown — HTTP 404 upstream)."""
+        return self._jobs[job_id]
+
+    def jobs(self, state: Optional[str] = None) -> List[JobRecord]:
+        """All records in submission order, optionally filtered by state."""
+        records = [self._jobs[job_id] for job_id in self._order]
+        if state is not None:
+            records = [record for record in records if record.state == state]
+        return records
+
+    def state_counts(self) -> Dict[str, int]:
+        """How many jobs sit in each lifecycle state."""
+        counts = {state: 0 for state in JobState.ALL}
+        for job_id in self._order:
+            counts[self._jobs[job_id].state] += 1
+        return counts
+
+    def health(self) -> Dict[str, Any]:
+        """JSON-ready liveness/telemetry snapshot (``GET /v1/health``)."""
+        return {
+            "status": "closing" if self._closing else "ok",
+            "version": __version__,
+            "started_at": round(self.started_at, 6),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "workers": self.workers,
+            "store": None if self.store is None else str(self.store.root),
+            "dedup": self.dedup,
+            "jobs": self.state_counts(),
+            "running": self._current_job_id,
+        }
+
+    async def store_summary(self) -> Optional[Dict[str, Any]]:
+        """The shared store's telemetry, or None when caching is disabled."""
+        if self.store is None:
+            return None
+        assert self._loop is not None and self._probe is not None
+        return await self._loop.run_in_executor(self._probe, self.store.summary)
+
+    # -- cancellation ------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True if the job was still cancellable.
+
+        Queued jobs cancel immediately; the running job's cancel event
+        makes the orchestrator stop dispatching further architectures
+        (already-dispatched ones drain — job-granular, see
+        :class:`~repro.campaign.orchestrator.CampaignCancelled`).
+        """
+        record = self._jobs[job_id]
+        if record.terminal:
+            return False
+        record.cancel_event.set()
+        if record.state == JobState.QUEUED:
+            self._finalize(record, JobState.CANCELLED, None, None, None)
+        return True
+
+    # -- event streaming ---------------------------------------------------------
+
+    async def stream(self, job_id: str, since: int = 0):
+        """Async-iterate a job's events from ``since`` until it is terminal.
+
+        Replays the existing log first, then follows live publishes; the
+        generator ends once the job is terminal and fully replayed, so a
+        consumer that drains it has seen the final state transition.
+        """
+        record = self._jobs[job_id]
+        index = max(0, since)
+        while True:
+            record.changed.clear()
+            while index < len(record.events):
+                yield record.events[index]
+                index += 1
+            if record.terminal:
+                return
+            await record.changed.wait()
+
+    # -- execution ---------------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        """Pull jobs off the priority queue, one campaign at a time."""
+        assert self._queue is not None and self._loop is not None
+        while True:
+            _, _, job_id = await self._queue.get()
+            record = self._jobs[job_id]
+            if record.state != JobState.QUEUED:
+                continue  # cancelled while queued
+            self._current_job_id = job_id
+            try:
+                await self._loop.run_in_executor(
+                    self._runner, self._execute, record
+                )
+            finally:
+                self._current_job_id = None
+
+    def _execute(self, record: JobRecord) -> None:
+        """Run one campaign on the runner thread, publishing to the loop."""
+        assert self._loop is not None
+        loop = self._loop
+
+        def post(callback, *args) -> None:
+            loop.call_soon_threadsafe(callback, *args)
+
+        if record.cancel_event.is_set():
+            post(self._finalize, record, JobState.CANCELLED, None, None, None)
+            return
+        post(self._transition, record, JobState.RUNNING, {})
+        try:
+            report = run_campaign(
+                record.spec,
+                store=self.store,
+                workers=self.workers,
+                progress=lambda line: post(
+                    record.publish, "progress", {"line": line}
+                ),
+                on_result=lambda result: post(
+                    record.publish,
+                    "result",
+                    {
+                        "arch": result.job.arch,
+                        "ok": result.ok,
+                        "cached": result.cached,
+                        "seconds": round(result.seconds, 6),
+                        "failed_stages": result.failed_stages(),
+                    },
+                ),
+                should_stop=record.cancel_event.is_set,
+            )
+        except CampaignCancelled as exc:
+            post(self._finalize, record, JobState.CANCELLED, None, None, str(exc))
+        except Exception:
+            post(
+                self._finalize,
+                record,
+                JobState.FAILED,
+                None,
+                None,
+                traceback.format_exc(),
+            )
+        else:
+            post(
+                self._finalize,
+                record,
+                JobState.DONE,
+                report.as_dict(),
+                report.all_ok(),
+                None,
+            )
+
+    # -- state transitions (loop thread only) ------------------------------------
+
+    def _transition(self, record: JobRecord, state: str, data: Dict[str, Any]) -> None:
+        """Move a record to a new state and publish it (terminal states stick)."""
+        if record.terminal:
+            return
+        record.state = state
+        now = time.time()
+        if state == JobState.RUNNING:
+            record.started_at = now
+        if state in JobState.TERMINAL:
+            record.finished_at = now
+            if self._active_key.get(record.key) == record.id:
+                del self._active_key[record.key]
+        record.publish("state", {"state": state, **data})
+
+    def _finalize(
+        self,
+        record: JobRecord,
+        state: str,
+        report: Optional[Dict[str, Any]],
+        ok: Optional[bool],
+        error: Optional[str],
+    ) -> None:
+        """Record a terminal outcome exactly once (loop thread only)."""
+        if record.terminal:
+            return
+        record.report = report
+        record.ok = ok
+        record.error = error
+        data: Dict[str, Any] = {"ok": ok}
+        if report is not None:
+            data["passed"] = report.get("passed")
+            data["total"] = report.get("total")
+            data["wall_seconds"] = report.get("wall_seconds")
+            data["from_cache"] = record.from_cache
+        if error is not None:
+            data["error"] = error
+        self._transition(record, state, data)

@@ -1,0 +1,259 @@
+"""Minimal stdlib-only HTTP/1.1 layer for the verification service.
+
+Just enough HTTP, written directly on :mod:`asyncio` streams, to serve a
+JSON API with long-lived streaming responses — no third-party web
+framework, per the repo's zero-hard-dependency rule:
+
+* requests: method + target + headers + optional ``Content-Length``
+  body (chunked *request* bodies are not accepted);
+* plain responses: ``Content-Length``-framed JSON, connection closed
+  after each response (clients open one connection per call);
+* streaming responses: ``Transfer-Encoding: chunked`` with one NDJSON
+  event per chunk, flushed eagerly so clients observe progress live
+  (``http.client`` decodes the chunk framing transparently, so a plain
+  ``readline()`` loop consumes the stream — see
+  :class:`repro.service.client.ServiceClient`).
+
+Routing and handler logic live in :mod:`repro.service.api`; this module
+only knows bytes and framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upper bounds keeping a misbehaving client from ballooning memory.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Seconds allowed for a client to deliver its request.
+REQUEST_TIMEOUT = 30.0
+
+_STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An error with a JSON wire shape: status + machine code + message."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> Dict[str, Any]:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The request body as JSON (400 on anything unparsable)."""
+        if not self.body:
+            raise HttpError(400, "bad_request", "request body must be JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, "bad_request", f"invalid JSON body: {exc}") from exc
+
+    def int_query(self, name: str, default: int = 0) -> int:
+        """An integer query parameter (400 when present but malformed)."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise HttpError(
+                400, "bad_request", f"query parameter {name!r} must be an integer"
+            ) from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; None when the client closed early."""
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=REQUEST_TIMEOUT
+        )
+    except asyncio.IncompleteReadError:
+        return None
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "bad_request", "request headers too large") from exc
+    except asyncio.TimeoutError as exc:
+        raise HttpError(408, "bad_request", "timed out reading request") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "bad_request", "request headers too large")
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise HttpError(400, "bad_request", "malformed request line") from exc
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "bad_request", "chunked request bodies not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise HttpError(400, "bad_request", "malformed Content-Length") from exc
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "payload_too_large", "request body too large")
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=REQUEST_TIMEOUT
+            )
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.TimeoutError as exc:
+            raise HttpError(408, "bad_request", "timed out reading body") from exc
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+class ResponseWriter:
+    """Frames responses onto one connection (plain JSON or NDJSON stream)."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.started = False
+        self.streaming = False
+
+    def _head(self, status: int, extra: str) -> bytes:
+        phrase = _STATUS_PHRASES.get(status, "Unknown")
+        return (
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            "Server: repro-service\r\n"
+            "Connection: close\r\n"
+            f"{extra}\r\n"
+        ).encode("latin-1")
+
+    async def send_json(self, status: int, payload: Any) -> None:
+        """One complete JSON response (the non-streaming endpoints)."""
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.started = True
+        self._writer.write(
+            self._head(
+                status,
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n",
+            )
+            + body
+        )
+        await self._writer.drain()
+
+    async def start_stream(self, status: int = 200) -> None:
+        """Begin a chunked NDJSON stream (one event per chunk)."""
+        self.started = True
+        self.streaming = True
+        self._writer.write(
+            self._head(
+                status,
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Cache-Control: no-store\r\n",
+            )
+        )
+        await self._writer.drain()
+
+    async def send_event(self, payload: Any) -> None:
+        """One NDJSON line, flushed immediately so followers see it live."""
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+        await self._writer.drain()
+
+    async def end_stream(self) -> None:
+        """Terminate the chunked stream cleanly."""
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+class ServiceHTTPServer:
+    """The asyncio socket server binding requests to the API dispatcher.
+
+    ``port=0`` binds an ephemeral port; after :meth:`start` the ``port``
+    attribute holds the real one (how tests and ``repro serve --port 0``
+    discover it).
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 8765) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_HEADER_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting connections (in-flight handlers finish on their own)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from .api import dispatch
+
+        responder = ResponseWriter(writer)
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                await dispatch(self.service, request, responder)
+            except HttpError as exc:
+                if not responder.started:
+                    await responder.send_json(exc.status, exc.payload())
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # never leak a traceback as a hung socket
+                if not responder.started:
+                    error = HttpError(500, "internal", f"internal error: {exc}")
+                    await responder.send_json(error.status, error.payload())
+        except (ConnectionError, asyncio.TimeoutError):
+            pass  # client went away; nothing to tell it
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

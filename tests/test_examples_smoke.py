@@ -27,6 +27,10 @@ QUICK_ARGS = {
         "program_length": 16,
         "max_cycles": 300,
     },
+    "service_client.py": {
+        "arch": "fam-r2w1d3s1-bypass",
+        "stages": "properties,derive",
+    },
 }
 
 EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
