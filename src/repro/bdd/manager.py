@@ -187,6 +187,20 @@ class BddStats:
 class BddManager:
     """Owns the node store, the variable order and all BDD operations."""
 
+    def __new__(cls, *args, **kwargs):
+        # REPRO_SANITIZE=1 transparently swaps every manager for the
+        # contract-enforcing subclass (checked at construction time, like
+        # REPRO_PURE_ARRAY): use-after-free and cross-manager node mixing
+        # raise instead of silently aliasing, memo tables are validated
+        # after every sweep, and unreleased protections are tracked by
+        # call site.  Zero cost when the variable is unset — this branch
+        # is the only hook and the devtools package is never imported.
+        if cls is BddManager and os.environ.get("REPRO_SANITIZE"):
+            from ..devtools.sanitizer import SanitizedBddManager
+
+            return super().__new__(SanitizedBddManager)
+        return super().__new__(cls)
+
     def __init__(
         self,
         variable_order: Optional[Sequence[str]] = None,

@@ -165,19 +165,23 @@ def dump_nodes(
     hi_of = manager._hi
     # Deterministic reachability: DFS from the roots in name order, then a
     # stable sort deepest-level-first so references always point backwards.
+    # The whole raw-id region sits inside postpone_reorder(): the ids in
+    # `discovery`/`order` are unprotected, and a reorder would relabel the
+    # levels the sort is about to read (contract lint RPL003).
     discovery: Dict[int, int] = {}
     order: List[int] = []
-    for name in sorted(roots):
-        stack = [roots[name]]
-        while stack:
-            node = stack.pop()
-            if node <= TRUE_NODE or node in discovery:
-                continue
-            discovery[node] = len(order)
-            order.append(node)
-            stack.append(hi_of[node])
-            stack.append(lo_of[node])
-    order.sort(key=lambda node: (-var_of[node], discovery[node]))
+    with manager.postpone_reorder():
+        for name in sorted(roots):
+            stack = [roots[name]]
+            while stack:
+                node = stack.pop()
+                if node <= TRUE_NODE or node in discovery:
+                    continue
+                discovery[node] = len(order)
+                order.append(node)
+                stack.append(hi_of[node])
+                stack.append(lo_of[node])
+        order.sort(key=lambda node: (-var_of[node], discovery[node]))
     ref = {FALSE_NODE: 0, TRUE_NODE: 1}
     for position, node in enumerate(order):
         ref[node] = position + 2
@@ -313,16 +317,22 @@ def splice_nodes(manager: BddManager, parsed: ParsedArtifact) -> Dict[str, int]:
     make_node = manager._make_node
     node_of: List[int] = [FALSE_NODE, TRUE_NODE] + [0] * parsed.num_nodes
     var_arr = manager._var
-    for index in range(parsed.num_nodes):
-        level = levels[var_indexes[index]]
-        low = node_of[lo_refs[index]]
-        high = node_of[hi_refs[index]]
-        # Children must sit strictly deeper (terminals carry a sentinel
-        # level far below everything); a violation means the var array was
-        # corrupted in a way that preserved the checksum-verified ranges.
-        if var_arr[low] <= level or var_arr[high] <= level:
-            raise ArtifactError("artifact violates the BDD level ordering")
-        node_of[index + 2] = make_node(level, low, high)
+    # `node_of` holds raw unprotected ids across every _make_node call; an
+    # auto-reorder triggered by one of those allocations would reclaim the
+    # nodes only this list references (contract lint RPL003), so the whole
+    # replay loop inhibits reordering.
+    with manager.postpone_reorder():
+        for index in range(parsed.num_nodes):
+            level = levels[var_indexes[index]]
+            low = node_of[lo_refs[index]]
+            high = node_of[hi_refs[index]]
+            # Children must sit strictly deeper (terminals carry a sentinel
+            # level far below everything); a violation means the var array
+            # was corrupted in a way that preserved the checksum-verified
+            # ranges.
+            if var_arr[low] <= level or var_arr[high] <= level:
+                raise ArtifactError("artifact violates the BDD level ordering")
+            node_of[index + 2] = make_node(level, low, high)
     return {name: node_of[root] for name, root in parsed.manifest["roots"].items()}
 
 

@@ -485,6 +485,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the shared result store's telemetry as JSON",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="contract lint: enforce the kernel/campaign/service invariants "
+        "the type system can't see",
+        description="AST-based contract lint (rules RPL001-RPL006, see "
+        "docs/contracts.md): raw node ids stored without protect(), "
+        "cross-manager node mixing, raw-id loops outside "
+        "postpone_reorder(), STAGE_DEPENDENCIES drift, blocking calls in "
+        "coroutines, off-thread service mutation.  Exits 1 when findings "
+        "remain after '# repro: noqa[RPLnnn]' suppressions.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: ./src and ./scripts "
+        "when present, else the current directory)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="machine-readable output for CI and editors",
+    )
+    lint.add_argument(
+        "--rules",
+        help="comma-separated rule codes to run (e.g. RPL001,RPL003); "
+        "default: all",
+    )
+
     return parser
 
 
@@ -939,6 +968,26 @@ def _cmd_jobs(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
+    import os
+
+    from .devtools.lint import LintError, lint_paths, render_json, render_text, resolve_codes
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [path for path in ("src", "scripts") if os.path.isdir(path)] or ["."]
+    try:
+        codes = resolve_codes(args.rules)
+        findings = lint_paths(paths, codes)
+    except LintError as exc:
+        raise CliError(str(exc)) from exc
+    if args.json_output:
+        out.write(render_json(findings) + "\n")
+    else:
+        out.write(render_text(findings) + "\n")
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "list-archs": _cmd_list_archs,
     "show-arch": _cmd_show_arch,
@@ -955,6 +1004,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "lint": _cmd_lint,
 }
 
 

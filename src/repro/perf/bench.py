@@ -116,7 +116,7 @@ def _run_derive_firepath_full(spec):
     # minimized ISOP covers for every closed form and the cached negations
     # (the stall covers) — the timing includes extraction, not just the
     # fixed point.
-    derivation.moe_expressions
+    _ = derivation.moe_expressions  # property access materializes the covers
     derivation.stall_expressions()
     return derivation
 
@@ -140,7 +140,7 @@ def _setup_derive_family_256r(quick: bool):
 
 def _run_derive_family(spec):
     derivation = symbolic_most_liberal(spec)
-    derivation.moe_expressions
+    _ = derivation.moe_expressions  # property access materializes the covers
     derivation.stall_expressions()
     return derivation
 

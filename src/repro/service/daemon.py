@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
@@ -112,6 +113,7 @@ class VerificationService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queue: "Optional[asyncio.PriorityQueue[Tuple[int, int, str]]]" = None
         self._scheduler_task: Optional[asyncio.Task] = None
+        self._stall_task: Optional[asyncio.Task] = None
         self._runner: Optional[ThreadPoolExecutor] = None
         self._probe: Optional[ThreadPoolExecutor] = None
         self._closing = False
@@ -135,6 +137,14 @@ class VerificationService:
             max_workers=2, thread_name_prefix="repro-probe"
         )
         self._scheduler_task = asyncio.create_task(self._scheduler())
+        if os.environ.get("REPRO_SANITIZE"):
+            # Sanitize mode: watch our own event loop for stalls — any
+            # blocking call that slips onto the loop thread (the RPL005
+            # lint's bug class) surfaces as an EventLoopStallWarning with
+            # the measured lag instead of silently freezing every stream.
+            from ..devtools.sanitizer import loop_stall_monitor
+
+            self._stall_task = asyncio.create_task(loop_stall_monitor())
 
     async def close(self, drain: bool = True) -> None:
         """Graceful shutdown: refuse new work, settle the queue, free the pool.
@@ -171,6 +181,13 @@ class VerificationService:
                 await self._scheduler_task
             except asyncio.CancelledError:
                 pass
+        if self._stall_task is not None:
+            self._stall_task.cancel()
+            try:
+                await self._stall_task
+            except asyncio.CancelledError:
+                pass
+            self._stall_task = None
         assert self._loop is not None and self._probe is not None
         await self._loop.run_in_executor(self._probe, shutdown_warm_pool)
         if self._runner is not None:

@@ -109,13 +109,17 @@ def load_functions(
         context = SymbolicContext(
             parsed.variables, balanced_reduce=balanced_reduce
         )
-    roots = splice_nodes(context.manager, parsed)
-    manifest = parsed.manifest
-    scopes = manifest.get("scopes", {})
-    functions = {
-        name: context.function(node, scope=scopes.get(name))
-        for name, node in roots.items()
-    }
+    # The raw root ids are unprotected until each is wrapped in a
+    # SymbolicFunction below; inhibit reordering across that window so a
+    # growth-triggered reorder cannot reclaim a root before its wrap.
+    with context.manager.postpone_reorder():
+        roots = splice_nodes(context.manager, parsed)
+        manifest = parsed.manifest
+        scopes = manifest.get("scopes", {})
+        functions = {
+            name: context.function(node, scope=scopes.get(name))
+            for name, node in roots.items()
+        }
     for name, cover in (manifest.get("covers") or {}).items():
         fn = functions.get(name)
         if fn is None:

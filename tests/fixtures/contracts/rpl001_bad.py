@@ -1,0 +1,9 @@
+"""RPL001 true positive: raw node ids parked where the GC can't see them."""
+
+GLOBAL_NODE = manager.and_(f, g)  # noqa: F821  (lint fixture, never imported)
+
+
+class Checker:
+    def __init__(self, manager, f, g):
+        self.cached = manager.or_(f, g)
+        self.inverse: int = manager.not_(f)

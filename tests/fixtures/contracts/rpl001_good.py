@@ -1,0 +1,9 @@
+"""RPL001 clean: stored nodes are protected or wrapped; locals are fine."""
+
+
+class Checker:
+    def __init__(self, manager, context, f, g):
+        self.cached = manager.protect(manager.or_(f, g))
+        self.fn = context.function(manager.and_(f, g))
+        scratch = manager.not_(f)  # local, consumed below — allowed
+        self.size = manager.size(scratch)

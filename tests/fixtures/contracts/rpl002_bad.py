@@ -1,0 +1,9 @@
+"""RPL002 true positive: a node minted by one manager fed into another."""
+
+
+def mix(manager_a, manager_b, f):
+    return manager_a.and_(f, manager_b.var("x"))
+
+
+def mix_keyword(manager_a, manager_b, f, g):
+    return manager_a.compose(f, replacement=manager_b.not_(g))

@@ -1,0 +1,9 @@
+"""RPL002 clean: every operand comes from the same manager expression."""
+
+
+def combine(manager, f):
+    return manager.and_(f, manager.var("x"))
+
+
+def combine_attr(self, f):
+    return self.manager.or_(f, self.manager.not_(f))

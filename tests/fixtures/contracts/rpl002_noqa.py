@@ -1,0 +1,7 @@
+"""RPL002 suppressed: a deliberate cross-manager read, silenced in place."""
+
+
+def transfer(manager_a, manager_b, f):
+    # manager_b.var() here returns a level index by construction, not a
+    # node id; audited and suppressed.
+    return manager_a.and_(f, manager_b.var("x"))  # repro: noqa[RPL002]

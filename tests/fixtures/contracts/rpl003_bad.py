@@ -1,0 +1,23 @@
+"""RPL003 true positives: raw-id loops over manager internals, unguarded."""
+
+
+def walk_store(manager):
+    sizes = []
+    for slot in range(len(manager._var)):
+        sizes.append(manager._lo[slot])
+    return sizes
+
+
+def replay(manager, entries):
+    out = {}
+    for var, lo, hi in entries:
+        out[var] = manager._make_node(var, lo, hi)
+    return out
+
+
+def via_alias(manager, roots):
+    var_arr = manager._var
+    total = 0
+    for root in roots:
+        total += var_arr[root]
+    return total

@@ -1,0 +1,22 @@
+"""RPL003 clean: the same loops, guarded by postpone_reorder()."""
+
+
+def walk_store(manager):
+    sizes = []
+    with manager.postpone_reorder():
+        for slot in range(len(manager._var)):
+            sizes.append(manager._lo[slot])
+    return sizes
+
+
+def replay(manager, entries):
+    out = {}
+    with manager.postpone_reorder():
+        for var, lo, hi in entries:
+            out[var] = manager._make_node(var, lo, hi)
+    return out
+
+
+def single_read(manager, root):
+    # Not in a loop — a one-shot read with no raw ids held across ops.
+    return manager._var[root]

@@ -1,0 +1,16 @@
+"""RPL004 true positive: a stage reads a field its dependency entry omits."""
+
+STAGE_DEPENDENCIES = {
+    "properties": ("arch",),
+    "faults": ("arch", "workload_length"),
+}
+
+
+def _stage_properties(job, arch):
+    # Reads workload_seed but the entry lists only arch: one stage_key
+    # across all seeds → stale cached results.
+    return (job.arch, job.workload_seed)
+
+
+def stage_faults(job):
+    return (job.arch, job.workload_length, job.max_faults)

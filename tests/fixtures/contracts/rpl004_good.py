@@ -1,0 +1,19 @@
+"""RPL004 clean: every field a stage reads is listed in its entry."""
+
+STAGE_DEPENDENCIES = {
+    "properties": ("arch",),
+    "faults": ("arch", "workload_length", "workload_seed", "max_faults"),
+}
+
+
+def _stage_properties(job, arch):
+    return job.arch
+
+
+def stage_faults(job):
+    return (job.arch, job.workload_length, job.workload_seed, job.max_faults)
+
+
+def helper(job):
+    # Not a stage function — free to read anything.
+    return job.num_programs

@@ -1,0 +1,10 @@
+"""RPL004 suppressed: the unlisted read is deliberate and silenced."""
+
+STAGE_DEPENDENCIES = {
+    "properties": ("arch",),
+}
+
+
+def _stage_properties(job, arch):
+    # workload_seed only feeds a log line here, never the result.
+    return (job.arch, job.workload_seed)  # repro: noqa[RPL004]

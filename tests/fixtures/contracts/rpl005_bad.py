@@ -1,0 +1,17 @@
+"""RPL005 true positives: blocking calls sitting directly in coroutines."""
+
+import subprocess
+import time
+
+
+async def poll(path):
+    time.sleep(0.5)
+    return path.read_text()
+
+
+async def shell_out(cmd):
+    return subprocess.run(cmd, capture_output=True)
+
+
+async def fetch(url):
+    return urlopen(url)  # noqa: F821  (lint fixture, never imported)

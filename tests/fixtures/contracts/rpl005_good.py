@@ -1,0 +1,20 @@
+"""RPL005 clean: async code awaits; blocking work hops to an executor."""
+
+import asyncio
+import time
+
+
+async def poll(loop, executor, path):
+    await asyncio.sleep(0.5)
+    return await loop.run_in_executor(executor, path.read_text)
+
+
+def sync_helper(path):
+    # Blocking in a plain function is fine — this runs on an executor.
+    time.sleep(0.1)
+    with open(path) as handle:
+        return handle.read()
+
+
+async def wrapper(loop, executor, path):
+    return await loop.run_in_executor(executor, sync_helper, path)

@@ -1,0 +1,8 @@
+"""RPL005 suppressed: a deliberate sub-millisecond block, silenced."""
+
+import time
+
+
+async def settle():
+    # Sub-scheduler-tick pause during shutdown; audited.
+    time.sleep(0.0005)  # repro: noqa[RPL005]

@@ -1,0 +1,11 @@
+"""RPL006 true positives: runner-thread code touching loop-only state."""
+
+
+class VerificationService:
+    def _execute(self, record, spec):
+        record.state = "running"  # JobRecord fields are loop-thread-only
+        self._jobs[spec.key] = record
+        self._transition(record, "running")
+        result = spec.run()
+        self._finalize(record, result)
+        return result

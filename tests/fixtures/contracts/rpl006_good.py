@@ -1,0 +1,18 @@
+"""RPL006 clean: the runner thread publishes through the loop hop."""
+
+import functools
+
+
+class VerificationService:
+    def _execute(self, loop, record, spec):
+        post = functools.partial(loop.call_soon_threadsafe)
+        post(self._transition, record, "running")
+        result = spec.run()
+        post(self._finalize, record, result)
+        return result
+
+    def _loop_side(self, record):
+        # Not a runner method — loop-thread code mutates freely.
+        record.state = "done"
+        self._jobs[record.key] = record
+        self._transition(record, "done")

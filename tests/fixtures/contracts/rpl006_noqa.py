@@ -1,0 +1,9 @@
+"""RPL006 suppressed: a pre-publication write on a not-yet-shared record."""
+
+
+class VerificationService:
+    def _execute(self, record, spec):
+        # record is still runner-local here — not yet in self._jobs — so
+        # no loop-thread reader can observe the torn write.
+        record.state = "running"  # repro: noqa[RPL006]
+        return spec.run()

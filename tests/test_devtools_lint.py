@@ -1,0 +1,161 @@
+"""Tests for the contract lint (repro.devtools): rules, noqa, CLI, repo hygiene.
+
+The fixture corpus under ``tests/fixtures/contracts/`` carries one
+``bad``/``good``/``noqa`` triple per rule: the bad file must trip its
+rule (and only its rule), the good file must be clean, and the noqa file
+contains the same violation silenced with ``# repro: noqa[RPLnnn]``.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.lint import (
+    LintError,
+    all_rules,
+    lint_paths,
+    render_json,
+    render_text,
+    resolve_codes,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "contracts"
+
+ALL_CODES = ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006")
+
+
+def fixture(code, kind):
+    path = FIXTURES / f"{code.lower()}_{kind}.py"
+    assert path.is_file(), path
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# The corpus: every rule catches its true positive and stays quiet otherwise.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_fixture_trips_exactly_its_rule(code):
+    findings = lint_paths([fixture(code, "bad")])
+    assert findings, f"{code} bad fixture produced no findings"
+    assert {f.rule for f in findings} == {code}
+    # Spans are real positions inside the file.
+    text = Path(fixture(code, "bad")).read_text().splitlines()
+    for f in findings:
+        assert 1 <= f.line <= len(text)
+        assert f.col >= 0
+        assert f.message
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_good_fixture_is_clean(code):
+    assert lint_paths([fixture(code, "good")]) == []
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_noqa_fixture_is_suppressed(code):
+    assert lint_paths([fixture(code, "noqa")]) == []
+    # The suppression is doing the work: the same file minus its noqa
+    # comments trips the rule again.
+    stripped = "\n".join(
+        line.split("# repro: noqa")[0]
+        for line in Path(fixture(code, "noqa")).read_text().splitlines()
+    )
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as handle:
+        handle.write(stripped)
+    findings = lint_paths([handle.name])
+    assert {f.rule for f in findings} == {code}
+
+
+def test_rule_filter_restricts_findings():
+    findings = lint_paths([str(FIXTURES)], resolve_codes("RPL003"))
+    assert findings
+    assert {f.rule for f in findings} == {"RPL003"}
+
+
+def test_unknown_rule_code_rejected():
+    with pytest.raises(LintError):
+        resolve_codes("RPL999")
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    findings = lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert findings[0].rule == "RPL000"
+
+
+def test_registry_exposes_all_six_rules():
+    registry = all_rules()
+    assert sorted(registry) == sorted(ALL_CODES)
+    for code, rule_class in registry.items():
+        assert rule_class.code == code
+        assert rule_class.summary
+
+
+# ---------------------------------------------------------------------------
+# Renderers and the CLI verb.
+# ---------------------------------------------------------------------------
+
+
+def test_render_text_clean_and_findings():
+    assert render_text([]) == "contract lint: clean"
+    findings = lint_paths([fixture("RPL001", "bad")])
+    text = render_text(findings)
+    assert "RPL001" in text
+    assert "rpl001_bad.py" in text
+
+
+def test_render_json_shape():
+    findings = lint_paths([fixture("RPL002", "bad")])
+    payload = json.loads(render_json(findings))
+    assert payload["count"] == len(findings)
+    entry = payload["findings"][0]
+    assert set(entry) == {"path", "line", "col", "rule", "message"}
+    assert entry["rule"] == "RPL002"
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = cli_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_cli_lint_bad_fixture_exits_nonzero():
+    code, output = run_cli("lint", fixture("RPL005", "bad"))
+    assert code == 1
+    assert "RPL005" in output
+
+
+def test_cli_lint_json_and_rules_filter():
+    code, output = run_cli(
+        "lint", "--json", "--rules", "RPL001", fixture("RPL005", "bad")
+    )
+    assert code == 0
+    assert json.loads(output) == {"count": 0, "findings": []}
+
+
+def test_cli_lint_clean_path_exits_zero(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    code, output = run_cli("lint", str(tmp_path))
+    assert code == 0
+    assert "clean" in output
+
+
+# ---------------------------------------------------------------------------
+# Repo hygiene: the shipped tree lints clean, via the CI wrapper too.
+# ---------------------------------------------------------------------------
+
+
+def test_repository_lints_clean():
+    paths = [str(REPO_ROOT / name) for name in ("src", "scripts")]
+    findings = lint_paths(paths)
+    assert findings == [], render_text(findings)

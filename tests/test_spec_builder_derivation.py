@@ -182,7 +182,7 @@ class TestConcreteDerivation:
 class TestSymbolicDerivation:
     def test_closed_forms_use_inputs_only(self, example_spec, example_derivation):
         input_set = set(example_spec.input_signals())
-        for moe, expression in example_derivation.moe_expressions.items():
+        for expression in example_derivation.moe_expressions.values():
             assert expression.variables() <= input_set
 
     def test_iteration_count_bounded_by_stage_count(self, example_spec, example_derivation):
