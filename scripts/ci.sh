@@ -56,6 +56,9 @@ MODULES = [
     "repro.campaign.orchestrator",
     "repro.campaign.spec",
     "repro.campaign.store",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
     "repro.service",
     "repro.service.client",
     "repro.service.daemon",
@@ -75,6 +78,13 @@ if [[ -n "${REPRO_SANITIZE:-}" ]]; then
     # deliberately slower.  Timing it against the plain-kernel baseline
     # would only measure the sanitizer, so the gate is skipped.
     echo "REPRO_SANITIZE is set — skipping the benchmark gate (sanitized kernel is intentionally slower)"
+    exit 0
+fi
+if [[ -n "${REPRO_TRACE:-}" ]]; then
+    # Tracing records a span per stage/job and writes NDJSON traces; the
+    # baseline was measured untraced, so the comparison would gate on the
+    # tracer, not the kernel.
+    echo "REPRO_TRACE is set — skipping the benchmark gate (traced runs are not comparable to the untraced baseline)"
     exit 0
 fi
 if [[ ! -f "$BASELINE" ]]; then

@@ -66,6 +66,26 @@ print(f"cached resubmission answered in {elapsed * 1000:.1f} ms "
       f"(store hits: {stats['hits']})")
 EOF
 
+echo "== /v1/metrics must expose nonzero job counters =="
+python - "$PORT" <<'EOF'
+import re
+import sys
+
+from repro.service import ServiceClient
+
+client = ServiceClient(port=int(sys.argv[1]))
+text = client.metrics()
+match = re.search(r'^repro_service_jobs_total\{state="done"\} (\d+)$', text, re.M)
+assert match and int(match.group(1)) >= 1, "no done jobs in /v1/metrics"
+assert re.search(r"^repro_service_submissions_total [1-9]", text, re.M), \
+    "no submissions counted"
+samples = client.metrics(fmt="json")
+cached = [s for s in samples if s["name"] == "repro_service_cache_answers_total"]
+assert cached and cached[0]["value"] >= 1, "warm resubmission not counted"
+print(f"metrics endpoint OK: {match.group(1)} done job(s), "
+      f"{len(samples)} samples in the JSON rendering")
+EOF
+
 echo "== graceful shutdown on SIGTERM =="
 kill -TERM "$SERVER_PID"
 if ! wait "$SERVER_PID"; then

@@ -31,10 +31,12 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import Tracer, get_registry, span, tracing_enabled
 from .report import CampaignReport
-from .runner import JobResult, run_verification_job
+from .runner import JobResult, run_traced_job
 from .spec import CampaignSpec, JobSpec
 from .store import ResultStore, StoreStats
 
@@ -80,11 +82,19 @@ def _execute_job_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             store = ResultStore(store_root)
             _WORKER_STORES[store_root] = store
     before = store.stats.copy() if store is not None else None
-    result = run_verification_job(
-        job, store=store, incremental=bool(payload.get("incremental", False))
+    registry = get_registry()
+    metrics_before = registry.snapshot()
+    result = run_traced_job(
+        job,
+        store=store,
+        incremental=bool(payload.get("incremental", False)),
+        trace=payload.get("trace"),
     )
     if store is not None:
         result.store_stats = store.stats.diff(before).as_dict()
+    # Ship what this job added to the worker's registry; the parent folds
+    # it exactly like the store delta above (gauges stay worker-local).
+    result.metrics = registry.delta_since(metrics_before)
     return result.as_dict()
 
 
@@ -142,6 +152,7 @@ def _run_pool(
     incremental: bool,
     consume: Callable[[int, JobResult], None],
     should_stop: Optional[StopFn] = None,
+    trace: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Stream jobs through the persistent pool, consuming results as they land."""
     pool = _warm_pool(workers)
@@ -149,7 +160,12 @@ def _run_pool(
     future_index = {
         pool.submit(
             _execute_job_payload,
-            {"job": job.to_dict(), "store": store_root, "incremental": incremental},
+            {
+                "job": job.to_dict(),
+                "store": store_root,
+                "incremental": incremental,
+                "trace": trace,
+            },
         ): index
         for index, job in enumerate(pending)
     }
@@ -198,6 +214,24 @@ def _run_pool(
         shutdown_warm_pool()
 
 
+def _fold_store_metrics(registry: Any, stats: StoreStats) -> None:
+    """Mirror a campaign's StoreStats delta into the metrics registry."""
+    reads = (
+        ("job", "hits", "hit"),
+        ("job", "misses", "miss"),
+        ("artifact", "artifact_hits", "hit"),
+        ("artifact", "artifact_misses", "miss"),
+        ("stage", "stage_hits", "hit"),
+        ("stage", "stage_misses", "miss"),
+    )
+    for kind, attr, outcome in reads:
+        value = getattr(stats, attr)
+        if value:
+            registry.inc("repro_store_reads_total", value, kind=kind, outcome=outcome)
+    if stats.corrupt:
+        registry.inc("repro_store_corrupt_total", stats.corrupt)
+
+
 def run_campaign(
     spec: CampaignSpec,
     store: Optional[ResultStore] = None,
@@ -207,6 +241,7 @@ def run_campaign(
     incremental: bool = False,
     on_result: Optional[ResultFn] = None,
     should_stop: Optional[StopFn] = None,
+    trace: Optional[bool] = None,
 ) -> CampaignReport:
     """Run a whole campaign and aggregate the per-job outcomes.
 
@@ -235,6 +270,12 @@ def run_campaign(
             draining already-dispatched jobs.  This is the cooperative
             cancellation hook the async service layer drives from a
             ``threading.Event``.
+        trace: force span tracing on (True) or off (False); the default
+            None defers to the ``REPRO_TRACE`` environment variable.
+            When tracing, one correlation id spans the campaign and all
+            its workers, each fresh job's spans are exported to the
+            store as ``trace-<job_key>.ndjson`` (when a store is
+            configured), and the report embeds per-span-name rollups.
 
     Job failures — verification failures and crashed workers alike — are
     captured in the per-job results; this function only raises for
@@ -270,6 +311,10 @@ def run_campaign(
     start = time.perf_counter()
     stats_before = store.stats.copy() if store is not None else None
     worker_stats = StoreStats()
+    registry = get_registry()
+    registry.inc("repro_campaign_runs_total")
+    tracing = tracing_enabled() if trace is None else bool(trace)
+    tracer = Tracer() if tracing else None
     results: Dict[int, JobResult] = {}
     pending: List[int] = []
 
@@ -277,64 +322,97 @@ def run_campaign(
         if fresh:
             # Fold the worker's store-traffic delta into the campaign
             # tally, then drop it so persisted results stay free of
-            # run-specific counters.
+            # run-specific counters.  The metrics delta and the job's
+            # trace spans travel — and are stripped — the same way.
             if result.store_stats is not None:
                 worker_stats.add(StoreStats.from_dict(result.store_stats))
                 result.store_stats = None
+            if result.metrics:
+                registry.fold(result.metrics)
+            result.metrics = None
+            if result.trace_spans:
+                if store is not None:
+                    try:
+                        store.put_trace(spec.jobs[index].job_key(), result.trace_spans)
+                    except OSError:
+                        pass
+                if tracer is not None:
+                    tracer.spans.extend(result.trace_spans)
+            result.trace_spans = None
             # Only passing results are cached: a failure is something to
             # investigate and re-run, not to replay from disk.
             if store is not None and result.ok:
                 store.put(spec.jobs[index], result)
+        else:
+            registry.inc("repro_campaign_jobs_total", outcome="cached")
         results[index] = result
         if on_result is not None:
             on_result(result)
 
-    for index, job in enumerate(spec.jobs):
-        cached = store.get(job) if (store is not None and use_cache) else None
-        if cached is not None:
-            cached.cached = True
-            finish(index, cached, fresh=False)
-            if progress is not None:
-                progress(f"[{job.arch}] cached ({'ok' if cached.ok else 'FAIL'})")
-        else:
-            pending.append(index)
-
-    if pending:
-        pending_jobs = [spec.jobs[index] for index in pending]
-        if worker_count > 1 and len(pending_jobs) > 1:
-            _run_pool(
-                pending_jobs,
-                worker_count,
-                progress,
-                store_root=None if store is None else str(store.root),
-                incremental=incremental,
-                consume=lambda i, result: finish(pending[i], result, fresh=True),
-                should_stop=should_stop,
-            )
-        else:
-            for position, index in enumerate(pending):
-                if should_stop is not None and should_stop():
-                    raise CampaignCancelled(
-                        f"campaign cancelled with {len(pending) - position} jobs undone"
-                    )
-                job = spec.jobs[index]
-                result = run_verification_job(
-                    job, store=store, incremental=incremental
-                )
-                finish(index, result, fresh=True)
+    session = ExitStack()
+    job_trace: Optional[Dict[str, Any]] = None
+    if tracer is not None:
+        session.enter_context(tracer.activate())
+        campaign_span = session.enter_context(
+            span("campaign", name=spec.name, jobs=len(spec.jobs), workers=worker_count)
+        )
+        job_trace = {"id": tracer.trace_id, "parent": campaign_span.span_id}
+    try:
+        for index, job in enumerate(spec.jobs):
+            cached = store.get(job) if (store is not None and use_cache) else None
+            if cached is not None:
+                cached.cached = True
+                finish(index, cached, fresh=False)
                 if progress is not None:
-                    status = "ok" if result.ok else "FAIL"
-                    progress(f"[{job.arch}] {status} in {result.seconds:.3f}s")
+                    progress(f"[{job.arch}] cached ({'ok' if cached.ok else 'FAIL'})")
+            else:
+                pending.append(index)
+
+        if pending:
+            pending_jobs = [spec.jobs[index] for index in pending]
+            if worker_count > 1 and len(pending_jobs) > 1:
+                _run_pool(
+                    pending_jobs,
+                    worker_count,
+                    progress,
+                    store_root=None if store is None else str(store.root),
+                    incremental=incremental,
+                    consume=lambda i, result: finish(pending[i], result, fresh=True),
+                    should_stop=should_stop,
+                    trace=job_trace,
+                )
+            else:
+                for position, index in enumerate(pending):
+                    if should_stop is not None and should_stop():
+                        raise CampaignCancelled(
+                            f"campaign cancelled with {len(pending) - position} jobs undone"
+                        )
+                    job = spec.jobs[index]
+                    result = run_traced_job(
+                        job, store=store, incremental=incremental, trace=job_trace
+                    )
+                    finish(index, result, fresh=True)
+                    if progress is not None:
+                        status = "ok" if result.ok else "FAIL"
+                        progress(f"[{job.arch}] {status} in {result.seconds:.3f}s")
+    finally:
+        # Close the campaign span (and deactivate the tracer) even on
+        # cancellation, before rolling spans up below.
+        session.close()
 
     store_stats: Optional[StoreStats] = None
     if store is not None:
         store_stats = store.stats.diff(stats_before)
         store_stats.add(worker_stats)
+        _fold_store_metrics(registry, store_stats)
     ordered = [results[index] for index in range(len(spec.jobs))]
-    return CampaignReport(
+    report = CampaignReport(
         name=spec.name,
         results=ordered,
         workers=worker_count,
         wall_seconds=time.perf_counter() - start,
         store_stats=store_stats,
     )
+    if tracer is not None:
+        report.trace = tracer.summary()
+    return report

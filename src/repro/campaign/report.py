@@ -18,7 +18,9 @@ class CampaignReport:
 
     ``store_stats`` is the campaign's aggregate store traffic — the
     parent store's delta plus every worker's — or None when the campaign
-    ran without a store.
+    ran without a store.  ``trace`` is present only for traced runs: the
+    correlation id plus per-span-name rollups (count, total and max
+    seconds) over every span the campaign and its workers recorded.
     """
 
     name: str
@@ -26,6 +28,7 @@ class CampaignReport:
     workers: int = 1
     wall_seconds: float = 0.0
     store_stats: Optional[StoreStats] = None
+    trace: Optional[Dict[str, Any]] = None
 
     # -- aggregation -------------------------------------------------------------
 
@@ -131,6 +134,8 @@ class CampaignReport:
         }
         if self.store_stats is not None:
             payload["cache"] = self.store_stats.as_dict()
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
     def describe(self) -> str:
@@ -157,5 +162,21 @@ class CampaignReport:
             )
         for stage, stage_rate in sorted(self.stage_pass_rates().items()):
             lines.append(f"  stage {stage}: {stage_rate}")
+        if self.trace is not None:
+            rollups = self.trace.get("rollups", {})
+            top = sorted(
+                rollups.items(),
+                key=lambda item: item[1].get("seconds_total", 0.0),
+                reverse=True,
+            )[:5]
+            hot = ", ".join(
+                f"{name} {entry['seconds_total']:.3f}s/{entry['count']}"
+                for name, entry in top
+            )
+            lines.append(
+                f"  trace {self.trace.get('trace_id')}: "
+                f"{sum(e.get('count', 0) for e in rollups.values())} spans"
+                + (f"; hottest: {hot}" if hot else "")
+            )
         lines.append(render_table(self.rows()))
         return "\n".join(lines)

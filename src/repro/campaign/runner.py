@@ -40,6 +40,8 @@ from ..assertions import monitor_trace, testbench_assertions
 from ..bdd.serialize import ArtifactError
 from ..checking import PropertyChecker
 from ..faults import FaultCampaign, FaultInjector
+from ..obs import Tracer, annotate, get_registry, record_kernel_stats, span
+from ..obs.metrics import KERNEL_COUNTERS
 from ..pipeline import ClosedFormInterlock, simulate
 from ..spec import (
     build_functional_spec,
@@ -93,7 +95,10 @@ class JobResult:
     plain counter dict when the job executed in another process against
     its own store handle; the orchestrator folds it into the campaign
     tally.  It stays None for in-process execution, where the parent's
-    store instance counted the traffic directly.
+    store instance counted the traffic directly.  ``trace_spans`` (the
+    job's finished spans, when tracing) and ``metrics`` (the worker's
+    registry delta) travel home the same way and are likewise folded —
+    and nulled — by the orchestrator before the result is stored.
     """
 
     job: JobSpec
@@ -103,6 +108,8 @@ class JobResult:
     error: Optional[str] = None
     cached: bool = False
     store_stats: Optional[Dict[str, int]] = None
+    trace_spans: Optional[List[Dict[str, Any]]] = None
+    metrics: Optional[Dict[str, Any]] = None
 
     def stage(self, name: str) -> StageResult:
         """Look up a stage result by name (KeyError when absent)."""
@@ -127,6 +134,10 @@ class JobResult:
         }
         if self.store_stats is not None:
             payload["store"] = dict(self.store_stats)
+        if self.trace_spans is not None:
+            payload["trace_spans"] = list(self.trace_spans)
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
         return payload
 
     @classmethod
@@ -142,6 +153,8 @@ class JobResult:
             stages=[StageResult.from_dict(s) for s in payload.get("stages", [])],
             error=payload.get("error"),
             store_stats=payload.get("store"),
+            trace_spans=payload.get("trace_spans"),
+            metrics=payload.get("metrics"),
         )
 
 
@@ -262,7 +275,21 @@ def _stage_derive(
     if context is not None:
         # Kernel health of the derivation's manager (JSON-ready), so scale
         # problems show up in campaign reports instead of only in profiles.
-        details["kernel"] = context.manager.stats().as_dict()
+        stats = context.manager.stats().as_dict()
+        details["kernel"] = stats
+        # Checkpoint delta against the warm state's previous reading: a
+        # fresh derivation reports its absolute counters, a warm rerun
+        # only what this job added to the long-lived manager.
+        previous = state.get("kernel_checkpoint") or {}
+        delta = {
+            counter: stats[counter] - previous.get(counter, 0)
+            for counter in KERNEL_COUNTERS
+        }
+        delta["live_nodes"] = stats["live_nodes"]
+        delta["load_factor"] = stats["load_factor"]
+        state["kernel_checkpoint"] = stats
+        record_kernel_stats(delta)
+        annotate(kernel=delta, source=source)
     return StageResult(name="derive", ok=True, seconds=0.0, details=details)
 
 
@@ -406,32 +433,36 @@ def run_verification_job(
             error=traceback.format_exc(),
         )
     error: Optional[str] = None
+    registry = get_registry()
     for name in CANONICAL_STAGES:
         if name not in job.stages:
             continue
         stage_start = time.perf_counter()
-        if incremental and store is not None:
-            cached = store.get_stage(name, job.stage_key(name))
-            if cached is not None and cached.ok:
-                details = dict(cached.details)
-                details["from_store"] = True
-                stages.append(
-                    StageResult(
-                        name=name,
-                        ok=True,
-                        seconds=time.perf_counter() - stage_start,
-                        details=details,
+        with span(name, kind="stage", arch=job.arch) as stage_span:
+            if incremental and store is not None:
+                cached = store.get_stage(name, job.stage_key(name))
+                if cached is not None and cached.ok:
+                    details = dict(cached.details)
+                    details["from_store"] = True
+                    seconds = time.perf_counter() - stage_start
+                    stages.append(
+                        StageResult(
+                            name=name, ok=True, seconds=seconds, details=details
+                        )
                     )
+                    stage_span.annotate(from_store=True)
+                    registry.observe("repro_stage_seconds", seconds, stage=name)
+                    continue
+            try:
+                result = _STAGE_IMPLS[name](state, job, store)
+                result.seconds = time.perf_counter() - stage_start
+            except Exception:
+                result = StageResult(
+                    name=name, ok=False, seconds=time.perf_counter() - stage_start
                 )
-                continue
-        try:
-            result = _STAGE_IMPLS[name](state, job, store)
-            result.seconds = time.perf_counter() - stage_start
-        except Exception:
-            result = StageResult(
-                name=name, ok=False, seconds=time.perf_counter() - stage_start
-            )
-            error = traceback.format_exc()
+                error = traceback.format_exc()
+            stage_span.annotate(ok=result.ok)
+            registry.observe("repro_stage_seconds", result.seconds, stage=name)
         stages.append(result)
         if error is None and result.ok and store is not None:
             try:
@@ -441,10 +472,40 @@ def run_verification_job(
         if error is not None:
             break
     ok = error is None and all(stage.ok for stage in stages)
+    seconds = time.perf_counter() - start
+    registry.observe("repro_job_seconds", seconds)
+    registry.inc("repro_campaign_jobs_total", outcome="ok" if ok else "failed")
     return JobResult(
         job=job,
         ok=ok,
-        seconds=time.perf_counter() - start,
+        seconds=seconds,
         stages=stages,
         error=error,
     )
+
+
+def run_traced_job(
+    job: JobSpec,
+    store: Optional[Any] = None,
+    incremental: bool = False,
+    trace: Optional[Dict[str, Any]] = None,
+) -> JobResult:
+    """Run one job, optionally under a trace session.
+
+    ``trace`` is None (plain :func:`run_verification_job`) or a dict with
+    the campaign's correlation ``id`` and optionally the ``parent`` span
+    id — exactly what the orchestrator puts in the worker payload.  When
+    traced, the job runs inside a fresh :class:`~repro.obs.Tracer` whose
+    finished spans land on ``JobResult.trace_spans`` for the parent to
+    export and merge.
+    """
+    if not trace:
+        return run_verification_job(job, store=store, incremental=incremental)
+    tracer = Tracer(trace_id=trace.get("id"), root_parent=trace.get("parent"))
+    with tracer.activate():
+        with span("job", arch=job.arch, stages=list(job.stages)) as job_span:
+            result = run_verification_job(job, store=store, incremental=incremental)
+            job_span.annotate(ok=result.ok)
+    get_registry().inc("repro_trace_spans_total", len(tracer.spans))
+    result.trace_spans = tracer.spans
+    return result

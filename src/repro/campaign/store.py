@@ -18,7 +18,11 @@ Beyond whole-job JSON verdicts the store also holds *derived artifacts*:
     individual stage results keyed by the hash of only the job fields
     that stage reads (:data:`~repro.campaign.spec.STAGE_DEPENDENCIES`),
     which is what makes campaigns *incremental*: edit one workload knob
-    and only the stages that depend on it lose their cache entries.
+    and only the stages that depend on it lose their cache entries;
+``trace-<job_key>.ndjson``
+    one span per line for jobs executed under tracing
+    (``REPRO_TRACE=1`` / ``--trace``; see :mod:`repro.obs`) — telemetry
+    sitting next to the result it explains, rendered by ``repro trace``.
 
 Every read and write is tallied in :class:`StoreStats` so campaign
 reports can surface exactly how much work the cache absorbed, including
@@ -36,11 +40,13 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from ..obs import dump_ndjson, load_ndjson
 from .runner import JobResult, StageResult
 from .spec import JobSpec
 
 _ARTIFACT_PREFIX = "artifact-"
 _STAGE_PREFIX = "stage-"
+_TRACE_PREFIX = "trace-"
 
 
 @dataclass
@@ -273,6 +279,53 @@ class ResultStore:
             for path in self.root.glob(f"{_STAGE_PREFIX}*.json")
         )
 
+    # -- NDJSON job traces -------------------------------------------------------
+
+    def trace_path(self, key: str) -> Path:
+        """Where the span trace for a job key lives."""
+        return self.root / f"{_TRACE_PREFIX}{key}.ndjson"
+
+    def put_trace(self, key: str, spans: List[Dict[str, Any]]) -> Path:
+        """Persist a job's finished spans atomically as NDJSON.
+
+        Traces are telemetry, not cache entries: they are not consulted
+        when answering jobs and do not participate in the hit/miss tally.
+        """
+        path = self.trace_path(key)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".part"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(dump_ndjson(spans))
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_trace(self, key: str) -> Optional[List[Dict[str, Any]]]:
+        """A job's stored spans, or None when absent or unparseable."""
+        path = self.trace_path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return load_ndjson(text)
+        except ValueError:
+            return None
+
+    def trace_keys(self) -> List[str]:
+        """Job keys of every stored span trace."""
+        return sorted(
+            path.stem[len(_TRACE_PREFIX):]
+            for path in self.root.glob(f"{_TRACE_PREFIX}*.ndjson")
+        )
+
     # -- store-wide --------------------------------------------------------------
 
     def keys(self) -> List[str]:
@@ -291,13 +344,43 @@ class ResultStore:
         with self._stats_lock:
             return self.stats.copy()
 
+    def disk_usage(self) -> Dict[str, int]:
+        """On-disk byte totals per entry kind (plus the grand ``total``).
+
+        One ``scandir`` pass over the store directory; files that vanish
+        mid-scan (another process replacing a temp file) are skipped.
+        ``total`` counts every regular file in the directory — including
+        leaked ``.part`` temp files — so it matches what ``du`` reports
+        and what an operator has to budget for.
+        """
+        usage = {"jobs": 0, "artifacts": 0, "stages": 0, "traces": 0, "total": 0}
+        with os.scandir(self.root) as entries:
+            for entry in entries:
+                try:
+                    if not entry.is_file(follow_symlinks=False):
+                        continue
+                    size = entry.stat(follow_symlinks=False).st_size
+                except OSError:
+                    continue
+                usage["total"] += size
+                name = entry.name
+                if name.startswith(_ARTIFACT_PREFIX) and name.endswith(".bdd"):
+                    usage["artifacts"] += size
+                elif name.startswith(_STAGE_PREFIX) and name.endswith(".json"):
+                    usage["stages"] += size
+                elif name.startswith(_TRACE_PREFIX) and name.endswith(".ndjson"):
+                    usage["traces"] += size
+                elif name.endswith(".json"):
+                    usage["jobs"] += size
+        return usage
+
     def summary(self) -> Dict[str, Any]:
-        """JSON-ready telemetry: entry counts per kind plus the traffic tally.
+        """JSON-ready telemetry: entry counts, byte totals, traffic tally.
 
         This is what the service daemon's ``GET /v1/store`` endpoint
-        returns; entry counts are re-globbed on every call so they
-        reflect writes made by worker processes too, while the ``stats``
-        tally covers only this handle's own traffic.
+        returns; entry counts and byte totals are re-scanned on every
+        call so they reflect writes made by worker processes too, while
+        the ``stats`` tally covers only this handle's own traffic.
         """
         return {
             "root": str(self.root),
@@ -305,14 +388,21 @@ class ResultStore:
                 "jobs": len(self.keys()),
                 "artifacts": len(self.artifact_keys()),
                 "stages": len(self.stage_keys()),
+                "traces": len(self.trace_keys()),
             },
+            "bytes": self.disk_usage(),
             "stats": self.stats_snapshot().as_dict(),
         }
 
     def clear(self) -> int:
         """Delete every stored entry of any kind; returns how many."""
         removed = 0
-        for pattern in ("*.json", f"{_ARTIFACT_PREFIX}*.bdd"):
+        patterns = (
+            "*.json",
+            f"{_ARTIFACT_PREFIX}*.bdd",
+            f"{_TRACE_PREFIX}*.ndjson",
+        )
+        for pattern in patterns:
             for path in self.root.glob(pattern):
                 path.unlink()
                 removed += 1

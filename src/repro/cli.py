@@ -39,6 +39,8 @@ Sub-commands
                           follow its event stream to completion
 ``jobs``                  list/inspect/cancel the daemon's jobs, or show the
                           shared store's telemetry
+``trace``                 render a stored campaign trace (NDJSON spans) as a
+                          process waterfall or a per-span rollup table
 ========================  =====================================================
 
 Every sub-command accepts either ``--arch <name>`` (a bundled architecture
@@ -366,6 +368,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the campaign's jobs and exit without verifying",
     )
+    campaign.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a structured span trace of the run (equivalent to "
+        "REPRO_TRACE=1): per-job NDJSON traces land in the result store "
+        "and the report gains per-span rollups; view with 'repro trace'",
+    )
 
     artifact = subparsers.add_parser(
         "artifact",
@@ -413,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dedup",
         action="store_true",
         help="do not coalesce concurrent identical submissions onto one job",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace every campaign the daemon runs (equivalent to starting "
+        "it with REPRO_TRACE=1); traces land in the shared result store",
     )
 
     _SERVICE_ADDRESS = "address of a running 'repro serve' daemon"
@@ -485,16 +500,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the shared result store's telemetry as JSON",
     )
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a recorded span trace as a waterfall or rollup table",
+        description="Render the NDJSON span trace of a traced campaign run "
+        "(REPRO_TRACE=1 / --trace): a cross-process waterfall of nested "
+        "spans by default, or a hottest-first rollup with --summary.  The "
+        "target is either a trace file path or a job-key prefix resolved "
+        "against the result store.",
+    )
+    trace.add_argument(
+        "target",
+        help="an NDJSON trace file, or a job-key (prefix) of a traced job "
+        "in the result store",
+    )
+    trace.add_argument(
+        "--store",
+        default=".campaign-results",
+        help="result store to resolve job keys against "
+        "(default: .campaign-results)",
+    )
+    trace.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the per-span rollup table instead of the waterfall",
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="contract lint: enforce the kernel/campaign/service invariants "
         "the type system can't see",
-        description="AST-based contract lint (rules RPL001-RPL006, see "
+        description="AST-based contract lint (rules RPL001-RPL007, see "
         "docs/contracts.md): raw node ids stored without protect(), "
         "cross-manager node mixing, raw-id loops outside "
         "postpone_reorder(), STAGE_DEPENDENCIES drift, blocking calls in "
-        "coroutines, off-thread service mutation.  Exits 1 when findings "
-        "remain after '# repro: noqa[RPLnnn]' suppressions.",
+        "coroutines, off-thread service mutation, raw stage timing instead "
+        "of the repro.obs span API.  Exits 1 when findings remain after "
+        "'# repro: noqa[RPLnnn]' suppressions.",
     )
     lint.add_argument(
         "paths",
@@ -787,6 +829,7 @@ def _cmd_campaign(args: argparse.Namespace, out: TextIO) -> int:
         progress=lambda line: out.write(line + "\n"),
         workers=args.workers,
         incremental=args.incremental,
+        trace=True if args.trace else None,
     )
     out.write(report.describe() + "\n")
     if args.report:
@@ -850,6 +893,7 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         store_root=args.store or None,
         workers=args.workers,
         dedup=not args.no_dedup,
+        trace=args.trace,
         out=out,
     )
 
@@ -968,6 +1012,51 @@ def _cmd_jobs(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace, out: TextIO) -> int:
+    import os
+
+    from .campaign import ResultStore
+    from .obs import load_ndjson, render_rollup, render_waterfall
+
+    spans = None
+    if os.path.isfile(args.target):
+        try:
+            with open(args.target, "r", encoding="utf-8") as handle:
+                spans = load_ndjson(handle.read())
+        except (OSError, ValueError) as exc:
+            raise CliError(f"cannot read trace {args.target}: {exc}") from exc
+    else:
+        if not os.path.isdir(args.store):
+            raise CliError(
+                f"{args.target!r} is not a file and store directory "
+                f"{args.store!r} does not exist"
+            )
+        store = ResultStore(args.store)
+        matches = [
+            key for key in store.trace_keys() if key.startswith(args.target)
+        ]
+        if not matches:
+            raise CliError(
+                f"no trace matches {args.target!r} in {args.store} "
+                f"({len(store.trace_keys())} stored traces; run a campaign "
+                "with --trace or REPRO_TRACE=1 first)"
+            )
+        if len(matches) > 1:
+            listing = "\n  ".join(sorted(matches))
+            raise CliError(
+                f"{args.target!r} is ambiguous; matching traces:\n  {listing}"
+            )
+        spans = store.get_trace(matches[0])
+        if spans is None:
+            raise CliError(f"trace {matches[0]} is unreadable or corrupt")
+    if not spans:
+        out.write("empty trace\n")
+        return 0
+    render = render_rollup if args.summary else render_waterfall
+    out.write(render(spans) + "\n")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
     import os
 
@@ -1004,6 +1093,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

@@ -9,7 +9,7 @@ asyncio daemon must never block its event loop.  This package enforces
 them twice over:
 
 * **statically** — :mod:`repro.devtools.lint` is an AST-based contract
-  linter (``repro lint``; rules RPL001–RPL006 in
+  linter (``repro lint``; rules RPL001–RPL007 in
   :mod:`repro.devtools.rules`) that flags violations at review time,
   with ``# repro: noqa[RPLnnn]`` suppression and JSON output for CI;
 * **dynamically** — :mod:`repro.devtools.sanitizer` turns the silent

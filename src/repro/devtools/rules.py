@@ -1,4 +1,4 @@
-"""The bundled contract rules (RPL001–RPL006).
+"""The bundled contract rules (RPL001–RPL007).
 
 Each rule encodes one invariant from the kernel/service contracts (see
 ``docs/contracts.md`` for the catalog with rationale and worked
@@ -689,3 +689,61 @@ class OffThreadServiceMutation(Rule):
             ):
                 return f"self.{base.attr}[...]"
         return None
+
+
+@register
+class RawStageTiming(Rule):
+    """RPL007: hand-rolled clock timing inside a pipeline stage function.
+
+    Stage wall-clock belongs to the observability layer: the stage loop
+    in ``run_verification_job`` wraps every stage in :func:`repro.obs.span`
+    and feeds the ``repro_stage_seconds`` histogram, so a
+    ``time.monotonic()``/``time.perf_counter()`` pair inside a
+    ``_stage_*`` function produces a second, unaggregated timing that
+    drifts from the traced one and never reaches ``/v1/metrics``.  Time
+    a sub-step with a nested ``span(...)`` (or attach the number to the
+    open span with ``repro.obs.annotate``) instead.
+    """
+
+    code = "RPL007"
+    summary = (
+        "raw time.monotonic()/perf_counter() timing inside a stage "
+        "function instead of the repro.obs span API"
+    )
+
+    _CLOCKS = frozenset(
+        {
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for func in _function_defs(source.tree):
+            name = getattr(func, "name", "")
+            if not name.startswith(("_stage_", "stage_")):
+                continue
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._CLOCKS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "time"
+                ):
+                    findings.append(
+                        source.finding(
+                            node,
+                            self,
+                            f"stage function {name}() reads time.{node.func.attr}() "
+                            "directly — the stage loop already times stages into "
+                            "repro_stage_seconds; wrap the sub-step in "
+                            "repro.obs.span() or annotate() the open span",
+                        )
+                    )
+        return findings

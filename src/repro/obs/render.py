@@ -1,0 +1,122 @@
+"""Terminal rendering of span traces: waterfall tree and rollup table.
+
+Consumed by the ``repro trace`` CLI verb.  Input is the span-dict list
+produced by :mod:`repro.obs.trace` (usually loaded from a store's
+``trace-<job_key>.ndjson`` file); output is plain text::
+
+    trace t-4eab6ff1…  8 spans  2 processes  wall 0.812s
+    job fam-r2w1d3s1-bypass (pid 6021) 0.401s |##########.................|
+      properties                       0.050s |##..........................|
+      derive                           0.310s |...########.................|
+
+Spans whose parent is not part of the rendered set (e.g. a job trace
+whose parent campaign span lives only in the orchestrator process) are
+treated as roots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from .trace import rollup_spans
+
+_BAR_WIDTH = 28
+
+
+def _label(record: Dict[str, Any]) -> str:
+    name = record.get("name", "?")
+    attrs = record.get("attrs", {})
+    parts = [name]
+    arch = attrs.get("arch")
+    if arch and name in ("job", "campaign"):
+        parts.append(str(arch))
+    if attrs.get("from_store"):
+        parts.append("(from store)")
+    if record.get("ok") is False or attrs.get("ok") is False:
+        parts.append("[FAIL]")
+    return " ".join(parts)
+
+
+def _bar(start: float, seconds: float, window_start: float, window: float) -> str:
+    if window <= 0:
+        return "|" + "#" * _BAR_WIDTH + "|"
+    begin = int(round((start - window_start) / window * _BAR_WIDTH))
+    length = max(1, int(round(seconds / window * _BAR_WIDTH)))
+    begin = min(begin, _BAR_WIDTH - 1)
+    length = min(length, _BAR_WIDTH - begin)
+    return "|" + "." * begin + "#" * length + "." * (_BAR_WIDTH - begin - length) + "|"
+
+
+def render_waterfall(spans: Iterable[Dict[str, Any]]) -> str:
+    """The span tree with per-span duration and a wall-clock waterfall."""
+    records = list(spans)
+    if not records:
+        return "(empty trace)"
+    by_id = {record.get("id"): record for record in records}
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        parent = record.get("parent")
+        if parent in by_id and parent != record.get("id"):
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    def start_of(record: Dict[str, Any]) -> float:
+        return float(record.get("at", 0.0))
+
+    for siblings in children.values():
+        siblings.sort(key=start_of)
+    roots.sort(key=start_of)
+
+    window_start = min(start_of(r) for r in records)
+    window_end = max(start_of(r) + float(r.get("seconds", 0.0)) for r in records)
+    window = window_end - window_start
+
+    trace_ids = sorted({str(r.get("trace")) for r in records})
+    pids = {r.get("pid") for r in records}
+    label_width = 0
+    flat: List[Any] = []
+
+    def collect(record: Dict[str, Any], depth: int) -> None:
+        nonlocal label_width
+        text = "  " * depth + _label(record)
+        label_width = max(label_width, len(text))
+        flat.append((text, record))
+        for child in children.get(record.get("id"), ()):
+            collect(child, depth + 1)
+
+    for root in roots:
+        collect(root, 0)
+
+    lines = [
+        f"trace {', '.join(trace_ids)}  {len(records)} spans  "
+        f"{len(pids)} process{'es' if len(pids) != 1 else ''}  wall {window:.3f}s"
+    ]
+    for text, record in flat:
+        seconds = float(record.get("seconds", 0.0))
+        lines.append(
+            f"{text.ljust(label_width)}  {seconds:8.3f}s  "
+            f"{_bar(start_of(record), seconds, window_start, window)}"
+        )
+    return "\n".join(lines)
+
+
+def render_rollup(spans: Iterable[Dict[str, Any]]) -> str:
+    """Per-span-name summary table, hottest first."""
+    rollups = rollup_spans(spans)
+    if not rollups:
+        return "(empty trace)"
+    rows = sorted(
+        rollups.items(), key=lambda item: item[1]["seconds_total"], reverse=True
+    )
+    name_width = max(len("span"), max(len(name) for name, _ in rows))
+    lines = [
+        f"{'span'.ljust(name_width)}  {'count':>5}  {'total s':>9}  {'max s':>9}"
+    ]
+    for name, entry in rows:
+        lines.append(
+            f"{name.ljust(name_width)}  {entry['count']:>5}  "
+            f"{entry['seconds_total']:>9.3f}  {entry['seconds_max']:>9.3f}"
+        )
+    return "\n".join(lines)

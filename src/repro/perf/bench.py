@@ -12,6 +12,14 @@ Two extra modes keep the runner usable in CI:
 * ``--check`` compares the fresh timings against a committed baseline file
   and exits non-zero when any scenario regressed beyond the tolerance — a
   lightweight performance gate.
+
+Besides the timing, each result carries a ``metrics`` snapshot: whatever
+the scenario's timed region added to the :mod:`repro.obs` registry
+(campaign scenarios fold their workers' kernel/cache counters home), plus
+scenario-specific collectors — the derivation benchmarks report live BDD
+node counts, cache hit rates and GC/reorder activity.  The snapshot is
+informational (the ``--check`` gate compares only seconds); with
+``--repeat`` the registry counters accumulate over all repetitions.
 """
 
 from __future__ import annotations
@@ -43,13 +51,19 @@ SCHEMA_VERSION = 1
 
 @dataclass
 class Scenario:
-    """One timed benchmark: a setup phase (untimed) and a run phase (timed)."""
+    """One timed benchmark: a setup phase (untimed) and a run phase (timed).
+
+    ``collect``, when given, receives the last run's return value after
+    the timing stops and contributes scenario-specific entries to the
+    result's ``metrics`` snapshot.
+    """
 
     name: str
     description: str
     setup: Callable[[bool], Any]
     run: Callable[[Any], Any]
     meta: Dict[str, Any] = field(default_factory=dict)
+    collect: Optional[Callable[[Any], Dict[str, Any]]] = None
 
 
 @dataclass
@@ -61,15 +75,48 @@ class BenchResult:
     repeat: int
     quick: bool
     meta: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready representation."""
-        return {
+        payload = {
             "seconds": round(self.seconds, 6),
             "repeat": self.repeat,
             "quick": self.quick,
             "meta": self.meta,
         }
+        if self.metrics:
+            payload["metrics"] = self.metrics
+        return payload
+
+
+# -- metric collectors -------------------------------------------------------------
+
+
+def _kernel_metrics(derivation: Any) -> Dict[str, Any]:
+    """Kernel health of an in-process derivation: nodes, hit rate, GC."""
+    context = getattr(derivation, "context", None)
+    if context is None:
+        return {}
+    stats = context.manager.stats().as_dict()
+    lookups = stats["cache_hits"] + stats["cache_misses"]
+    return {
+        "kernel_live_nodes": stats["live_nodes"],
+        "kernel_cache_hit_rate": (
+            round(stats["cache_hits"] / lookups, 4) if lookups else 0.0
+        ),
+        "kernel_gc_runs": stats["gc_runs"],
+        "kernel_gc_reclaimed": stats["gc_reclaimed"],
+        "kernel_reorder_runs": stats["reorder_runs"],
+    }
+
+
+def _registry_delta_metrics(delta: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a registry counter delta for the BENCH JSON snapshot."""
+    return {
+        key: round(entry[2], 6)
+        for key, entry in sorted(delta.get("counters", {}).items())
+    }
 
 
 # -- scenario definitions ----------------------------------------------------------
@@ -329,6 +376,7 @@ _SCENARIOS: List[Scenario] = [
         setup=_setup_derive_example,
         run=_run_derive_example,
         meta={"kind": "symbolic-derivation"},
+        collect=_kernel_metrics,
     ),
     Scenario(
         name="derive_firepath",
@@ -337,6 +385,7 @@ _SCENARIOS: List[Scenario] = [
         setup=_setup_derive_firepath,
         run=_run_derive_firepath,
         meta={"kind": "symbolic-derivation"},
+        collect=_kernel_metrics,
     ),
     Scenario(
         name="derive_firepath_full",
@@ -346,6 +395,7 @@ _SCENARIOS: List[Scenario] = [
         setup=_setup_derive_firepath_full,
         run=_run_derive_firepath_full,
         meta={"kind": "symbolic-derivation"},
+        collect=_kernel_metrics,
     ),
     Scenario(
         name="derive_family_64r",
@@ -354,6 +404,7 @@ _SCENARIOS: List[Scenario] = [
         setup=_setup_derive_family_64r,
         run=_run_derive_family,
         meta={"kind": "symbolic-derivation"},
+        collect=_kernel_metrics,
     ),
     Scenario(
         name="derive_family_256r",
@@ -363,6 +414,7 @@ _SCENARIOS: List[Scenario] = [
         setup=_setup_derive_family_256r,
         run=_run_derive_family,
         meta={"kind": "symbolic-derivation"},
+        collect=_kernel_metrics,
     ),
     Scenario(
         name="taut_enum_18",
@@ -454,12 +506,20 @@ def run_benchmarks(
         if unknown:
             raise ValueError(f"unknown scenario(s): {sorted(unknown)}")
         selected = [scenario for scenario in selected if scenario.name in set(names)]
+    from ..obs import get_registry
+
+    registry = get_registry()
     results: Dict[str, BenchResult] = {}
     for scenario in selected:
         if progress is not None:
             progress(f"[{scenario.name}] setup ...")
         state = scenario.setup(quick)
+        # What the timed region adds to the metrics registry (campaign
+        # scenarios fold their workers' kernel/store counters home) rides
+        # along in the result as an informational snapshot.
+        registry_before = registry.snapshot()
         best = None
+        outcome = None
         for _ in range(repeat):
             # Pay off garbage from setup and earlier scenarios now, so a
             # small scenario does not absorb a gen-2 collection pause that
@@ -471,19 +531,23 @@ def run_benchmarks(
             gc.disable()
             try:
                 start = time.perf_counter()
-                scenario.run(state)
+                outcome = scenario.run(state)
                 elapsed = time.perf_counter() - start
             finally:
                 if gc_was_enabled:
                     gc.enable()
             if best is None or elapsed < best:
                 best = elapsed
+        metrics = _registry_delta_metrics(registry.delta_since(registry_before))
+        if scenario.collect is not None:
+            metrics.update(scenario.collect(outcome))
         results[scenario.name] = BenchResult(
             name=scenario.name,
             seconds=best,
             repeat=repeat,
             quick=quick,
             meta=dict(scenario.meta, description=scenario.description),
+            metrics=metrics,
         )
         if progress is not None:
             progress(f"[{scenario.name}] {best:.4f}s")

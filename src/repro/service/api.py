@@ -19,6 +19,8 @@ GET      ``/v1/jobs/<id>/events``        NDJSON event stream (``?since=`` cursor
 POST     ``/v1/jobs/<id>/cancel``        cooperative cancellation
 DELETE   ``/v1/jobs/<id>``               alias for cancel
 GET      ``/v1/store``                   shared result-store telemetry
+GET      ``/v1/metrics``                 process metrics — Prometheus text by
+                                         default, ``?format=json`` for JSON
 =======  ==============================  =======================================
 """
 
@@ -77,6 +79,25 @@ async def dispatch(
         await responder.send_json(
             200, {"configured": summary is not None, "store": summary}
         )
+        return
+
+    if rest == ["metrics"]:
+        if request.method != "GET":
+            raise _method_not_allowed(request.method, request.path)
+        fmt = request.query.get("format", "prometheus")
+        registry = service.metrics_registry()
+        if fmt == "json":
+            await responder.send_json(200, {"metrics": registry.samples()})
+        elif fmt in ("prometheus", "text"):
+            await responder.send_text(
+                200,
+                registry.render_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            raise HttpError(
+                400, "bad_request", f"unknown metrics format {fmt!r}"
+            )
         return
 
     if rest == ["jobs"]:

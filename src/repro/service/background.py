@@ -27,9 +27,11 @@ from .http import ServiceHTTPServer
 __all__ = ["ServiceHandle", "serve_blocking", "start_service"]
 
 
-def _build(store_root: Optional[str], workers: int, dedup: bool) -> VerificationService:
+def _build(
+    store_root: Optional[str], workers: int, dedup: bool, trace: bool
+) -> VerificationService:
     store = ResultStore(store_root) if store_root else None
-    return VerificationService(store=store, workers=workers, dedup=dedup)
+    return VerificationService(store=store, workers=workers, dedup=dedup, trace=trace)
 
 
 class ServiceHandle:
@@ -81,6 +83,7 @@ def start_service(
     host: str = "127.0.0.1",
     port: int = 0,
     dedup: bool = True,
+    trace: bool = False,
 ) -> ServiceHandle:
     """Start daemon + HTTP server on a fresh thread; returns once listening.
 
@@ -92,7 +95,7 @@ def start_service(
     holder: dict = {}
 
     async def _main() -> None:
-        service = _build(store_root, workers, dedup)
+        service = _build(store_root, workers, dedup, trace)
         await service.start()
         server = ServiceHTTPServer(service, host=host, port=port)
         try:
@@ -137,6 +140,7 @@ def serve_blocking(
     store_root: Optional[str] = ".campaign-results",
     workers: int = 2,
     dedup: bool = True,
+    trace: bool = False,
     out: Optional[TextIO] = None,
 ) -> int:
     """Run the daemon in the foreground until SIGTERM/SIGINT (``repro serve``).
@@ -152,7 +156,7 @@ def serve_blocking(
             out.flush()
 
     async def _main() -> int:
-        service = _build(store_root, workers, dedup)
+        service = _build(store_root, workers, dedup, trace)
         await service.start()
         server = ServiceHTTPServer(service, host=host, port=port)
         try:

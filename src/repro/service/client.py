@@ -113,6 +113,32 @@ class ServiceClient:
         """``GET /v1/store``."""
         return self._request("GET", "/v1/store")
 
+    def metrics(self, fmt: str = "prometheus") -> Any:
+        """``GET /v1/metrics``.
+
+        With ``fmt="json"`` returns the sample list; the default
+        ``"prometheus"`` returns the raw text exposition (the one
+        response in the API that is not JSON, hence the direct framing
+        below instead of :meth:`_request`).
+        """
+        if fmt == "json":
+            return self._request("GET", "/v1/metrics?format=json")["metrics"]
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request("GET", f"/v1/metrics?format={fmt}")
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    0, "unreachable", f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            if response.status >= 400:
+                self._parse(response.status, raw)  # raises with the error shape
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
     def submit(
         self,
         arch: Optional[str] = None,

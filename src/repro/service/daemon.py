@@ -51,6 +51,7 @@ from ..campaign.orchestrator import (
 from ..campaign.report import CampaignReport
 from ..campaign.spec import CampaignSpec
 from ..campaign.store import ResultStore
+from ..obs import MetricsRegistry, get_registry
 from .jobs import JobRecord, JobState, parse_submission
 
 __all__ = ["ServiceClosing", "VerificationService"]
@@ -88,6 +89,9 @@ class VerificationService:
         dedup: coalesce concurrent identical submissions (same
             :meth:`~repro.campaign.spec.CampaignSpec.campaign_key`) onto
             one queued/running job.
+        trace: run every campaign with span tracing forced on (job
+            traces land in the store as NDJSON); the default False still
+            honors a ``REPRO_TRACE=1`` environment.
 
     Lifecycle: ``await start()`` once from the owning event loop, then
     any number of :meth:`submit`/:meth:`stream`/:meth:`cancel` calls,
@@ -100,10 +104,12 @@ class VerificationService:
         store: Optional[ResultStore] = None,
         workers: int = 2,
         dedup: bool = True,
+        trace: bool = False,
     ) -> None:
         self.store = store
         self.workers = max(1, int(workers))
         self.dedup = dedup
+        self.trace = bool(trace)
         self.started_at = time.time()
         self._jobs: Dict[str, JobRecord] = {}
         self._order: List[str] = []
@@ -215,7 +221,9 @@ class VerificationService:
             existing_id = self._active_key.get(spec.campaign_key())
             existing = self._jobs.get(existing_id or "")
             if existing is not None and not existing.terminal:
+                get_registry().inc("repro_service_coalesced_total")
                 return existing, True
+        get_registry().inc("repro_service_submissions_total")
         record = JobRecord(
             f"job-{next(self._ids):06d}", spec, priority, time.time()
         )
@@ -273,6 +281,7 @@ class VerificationService:
 
     def _finish_cached(self, record: JobRecord, report: CampaignReport) -> None:
         """Terminal bookkeeping for the submission-time cache fast path."""
+        get_registry().inc("repro_service_cache_answers_total")
         record.from_cache = True
         for result in report.results:
             record.publish(
@@ -327,6 +336,18 @@ class VerificationService:
             return None
         assert self._loop is not None and self._probe is not None
         return await self._loop.run_in_executor(self._probe, self.store.summary)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The process registry with the service's live gauges refreshed.
+
+        Serves ``GET /v1/metrics``; the refresh is a handful of dict
+        writes, cheap enough for the loop thread.
+        """
+        registry = get_registry()
+        counts = self.state_counts()
+        registry.set_gauge("repro_service_queue_depth", counts[JobState.QUEUED])
+        registry.set_gauge("repro_service_jobs_running", counts[JobState.RUNNING])
+        return registry
 
     # -- cancellation ------------------------------------------------------------
 
@@ -416,6 +437,7 @@ class VerificationService:
                     },
                 ),
                 should_stop=record.cancel_event.is_set,
+                trace=True if self.trace else None,
             )
         except CampaignCancelled as exc:
             post(self._finalize, record, JobState.CANCELLED, None, None, str(exc))
@@ -448,8 +470,12 @@ class VerificationService:
         now = time.time()
         if state == JobState.RUNNING:
             record.started_at = now
+            get_registry().observe(
+                "repro_service_queue_wait_seconds", max(0.0, now - record.submitted_at)
+            )
         if state in JobState.TERMINAL:
             record.finished_at = now
+            get_registry().inc("repro_service_jobs_total", state=state)
             if self._active_key.get(record.key) == record.id:
                 del self._active_key[record.key]
         record.publish("state", {"state": state, **data})

@@ -175,6 +175,25 @@ class ResponseWriter:
         )
         await self._writer.drain()
 
+    async def send_text(
+        self,
+        status: int,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        """One complete plain-text response (e.g. Prometheus exposition)."""
+        data = body.encode("utf-8")
+        self.started = True
+        self._writer.write(
+            self._head(
+                status,
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(data)}\r\n",
+            )
+            + data
+        )
+        await self._writer.drain()
+
     async def start_stream(self, status: int = 200) -> None:
         """Begin a chunked NDJSON stream (one event per chunk)."""
         self.started = True

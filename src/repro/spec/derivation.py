@@ -48,6 +48,7 @@ from ..expr.ast import Expr, Not, TRUE, Var
 from ..expr.evaluate import eval_expr
 from ..expr.printer import to_text
 from ..expr.transform import simplify, substitute
+from ..obs import KernelWatch, current_trace_id, span
 from ..symbolic import SymbolicContext, SymbolicFunction
 from .functional import FunctionalSpec, SpecificationError
 from .performance import CombinedSpec, PerformanceSpec
@@ -414,10 +415,15 @@ def symbolic_most_liberal(
     # The loop state below is raw node ids (not SymbolicFunction handles),
     # so an automatic reorder mid-iteration could reclaim nodes only this
     # frame references; postpone it until the fixed point converges.
+    # The stats() snapshot is not free, so the kernel checkpoint around
+    # the fixed point is taken only when a trace session is active.
+    watch = KernelWatch(manager) if current_trace_id() is not None else None
     with manager.postpone_reorder():
-        condition_nodes: Dict[str, int] = {
-            clause.moe: context.lift(clause.condition).node for clause in spec.clauses
-        }
+        with span("derive.compile", clauses=len(spec.clauses)):
+            condition_nodes: Dict[str, int] = {
+                clause.moe: context.lift(clause.condition).node
+                for clause in spec.clauses
+            }
         current: Dict[str, int] = {moe: manager.true() for moe in moe_flags}
 
         # The descending Kleene iteration from all-true reaches the greatest
@@ -442,16 +448,21 @@ def symbolic_most_liberal(
         # spurious fixed point of a non-monotone one instead of visibly
         # oscillating — so monotonicity (F_i[v:=1] → F_i[v:=0] for every
         # flag v the condition reads) is checked explicitly up front.
-        for moe, reads in deps.items():
-            condition = condition_nodes[moe]
-            for name in reads:
-                with_move = manager.restrict(condition, name, True)
-                with_stall = manager.restrict(condition, name, False)
-                if manager.or_(with_stall, manager.not_(with_move)) != manager.true():
-                    raise DerivationError(
-                        f"stall condition for {moe} is not monotone in the negated "
-                        f"moe flag {name}; the Section 3.1 preconditions are violated"
-                    )
+        with span("derive.monotonicity"):
+            for moe, reads in deps.items():
+                condition = condition_nodes[moe]
+                for name in reads:
+                    with_move = manager.restrict(condition, name, True)
+                    with_stall = manager.restrict(condition, name, False)
+                    if (
+                        manager.or_(with_stall, manager.not_(with_move))
+                        != manager.true()
+                    ):
+                        raise DerivationError(
+                            f"stall condition for {moe} is not monotone in the "
+                            f"negated moe flag {name}; the Section 3.1 "
+                            "preconditions are violated"
+                        )
         dependents: Dict[str, List[str]] = {moe: [] for moe in moe_flags}
         for moe, reads in deps.items():
             for read in reads:
@@ -459,30 +470,36 @@ def symbolic_most_liberal(
         clause_of = {clause.moe: clause for clause in spec.clauses}
         order = _dependency_order(list(clause_of), deps)
 
-        evaluations: Dict[str, int] = {moe: 0 for moe in moe_flags}
-        queue = list(order)
-        queued = set(queue)
-        head = 0
-        while head < len(queue):
-            moe = queue[head]
-            head += 1
-            queued.discard(moe)
-            evaluations[moe] += 1
-            if evaluations[moe] > limit:
-                raise DerivationError(
-                    f"symbolic fixed-point iteration did not converge within "
-                    f"{limit} iterations"
+        with span("derive.fixed_point", flags=len(moe_flags)) as fp_span:
+            evaluations: Dict[str, int] = {moe: 0 for moe in moe_flags}
+            queue = list(order)
+            queued = set(queue)
+            head = 0
+            while head < len(queue):
+                moe = queue[head]
+                head += 1
+                queued.discard(moe)
+                evaluations[moe] += 1
+                if evaluations[moe] > limit:
+                    raise DerivationError(
+                        f"symbolic fixed-point iteration did not converge within "
+                        f"{limit} iterations"
+                    )
+                node = manager.not_(
+                    manager.compose_many(condition_nodes[moe], current)
                 )
-            node = manager.not_(
-                manager.compose_many(condition_nodes[moe], current)
+                if node != current[moe]:
+                    current[moe] = node
+                    for dependent in dependents[moe]:
+                        if dependent not in queued:
+                            queue.append(dependent)
+                            queued.add(dependent)
+            iterations = max(evaluations.values(), default=1)
+            fp_span.annotate(
+                iterations=iterations, evaluations=sum(evaluations.values())
             )
-            if node != current[moe]:
-                current[moe] = node
-                for dependent in dependents[moe]:
-                    if dependent not in queued:
-                        queue.append(dependent)
-                        queued.add(dependent)
-        iterations = max(evaluations.values(), default=1)
+            if watch is not None:
+                fp_span.annotate(kernel=watch.delta())
 
     # Confirm the fixed point really only mentions primary inputs.
     input_scope = tuple(spec.input_signals())
@@ -495,9 +512,11 @@ def symbolic_most_liberal(
                 "the specification's moe dependency structure is malformed"
             )
 
-    moe_functions = {
-        moe: context.function(node, scope=input_scope) for moe, node in current.items()
-    }
+    with span("derive.extract", flags=len(current)):
+        moe_functions = {
+            moe: context.function(node, scope=input_scope)
+            for moe, node in current.items()
+        }
     return DerivationResult(
         spec=spec,
         iterations=iterations,

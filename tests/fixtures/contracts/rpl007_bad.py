@@ -1,0 +1,27 @@
+"""RPL007 true positive: a stage hand-rolls its own wall-clock timing."""
+
+import time
+
+
+def _stage_faults(job, context):
+    # The stage loop already wraps this in a span and records
+    # repro_stage_seconds — this pair is a second, drifting timing.
+    start = time.perf_counter()
+    outcome = run_fault_campaign(job, context)
+    outcome.seconds = time.perf_counter() - start
+    return outcome
+
+
+def stage_analysis(job, context):
+    began = time.monotonic()
+    report = analyze(job, context)
+    report.details["seconds"] = time.monotonic() - began
+    return report
+
+
+def run_fault_campaign(job, context):
+    return context
+
+
+def analyze(job, context):
+    return context

@@ -1,0 +1,35 @@
+"""RPL007 clean: stages lean on the obs span API; helpers may self-time."""
+
+import time
+
+from repro.obs import annotate, span
+
+
+def _stage_faults(job, context):
+    # Sub-step timing goes through a nested span, which lands in the
+    # trace and the repro_stage_seconds histogram automatically.
+    with span("faults.inject", budget=job.max_faults):
+        outcome = run_fault_campaign(job, context)
+    annotate(injected=outcome)
+    return outcome
+
+
+def stage_analysis(job, context):
+    with span("analysis.classify"):
+        return analyze(job, context)
+
+
+def helper_outside_stage(job):
+    # Not a stage function — free to use the clock directly (the stage
+    # loop and the service keep their own perf_counter pairs too).
+    start = time.perf_counter()
+    result = job
+    return result, time.perf_counter() - start
+
+
+def run_fault_campaign(job, context):
+    return context
+
+
+def analyze(job, context):
+    return context

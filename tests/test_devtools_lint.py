@@ -25,7 +25,15 @@ from repro.devtools.lint import (
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "contracts"
 
-ALL_CODES = ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006")
+ALL_CODES = (
+    "RPL001",
+    "RPL002",
+    "RPL003",
+    "RPL004",
+    "RPL005",
+    "RPL006",
+    "RPL007",
+)
 
 
 def fixture(code, kind):
@@ -93,7 +101,7 @@ def test_syntax_error_reported_not_raised(tmp_path):
     assert findings[0].rule == "RPL000"
 
 
-def test_registry_exposes_all_six_rules():
+def test_registry_exposes_every_rule():
     registry = all_rules()
     assert sorted(registry) == sorted(ALL_CODES)
     for code, rule_class in registry.items():
